@@ -1,0 +1,25 @@
+"""Benchmark-suite helpers.
+
+Each benchmark regenerates one paper artifact (table or figure), prints it
+in the paper's layout (run with ``-s`` to see it), writes it under
+``benchmarks/results/`` and asserts the paper's qualitative claims about it.
+Set ``REPRO_BENCH_SCALE=full`` to sweep every published matrix size
+(slower), or ``=small`` for a smoke run.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS.mkdir(exist_ok=True)
+    return RESULTS
+
+
+def save_and_print(results_dir, name: str, text: str) -> None:
+    (results_dir / name).write_text(text + "\n")
+    print(f"\n===== {name} =====\n{text}")

@@ -1,0 +1,67 @@
+"""Figure 6: influence of the TS level (a) and the high-level tree.
+
+Paper claims reproduced here (§V-B, "Influence of a" / "Influence of the
+high level tree"):
+
+* (a) low = GREEDY: at the largest M, a in {4, 8} beats a = 1 by roughly
+  the TS/TT kernel-rate ratio (~10-15%); at the smallest M, a = 1 is best.
+* (b) low = FLATTREE: for large M the speedup of a in {4, 8} over a = 1 is
+  far above 10% (the TS sub-domains cut the low-level pipeline length).
+* High-level trees perform similarly (Fibonacci marginally ahead).
+
+The large-M claims only materialize once the local matrices are tall and
+skinny enough (m >= 512 tiles on the 15 x 4 grid — the simulator's a-curve
+crossover sits one sweep point later than the paper's), so they are
+asserted only when the sweep reaches that size (default and full scales,
+not ``small``).
+"""
+
+from conftest import save_and_print
+
+from repro.bench.figures import figure6, format_series
+from repro.bench.runner import sweep_m_values
+
+
+def _last(series, label):
+    return series[label][-1][1]
+
+
+def _large_m_swept() -> bool:
+    return max(sweep_m_values()) >= 512
+
+
+def test_figure6a_low_greedy(benchmark, results_dir):
+    series = benchmark.pedantic(figure6, args=("greedy",), iterations=1, rounds=1)
+    save_and_print(results_dir, "figure6a.txt", format_series(series))
+    assert all(g > 0 for pts in series.values() for _, g in pts)
+    if not _large_m_swept():
+        return
+    for high in ("greedy", "binary", "flat", "fibonacci"):
+        big_a1 = _last(series, f"a=1, {high}")
+        big_a4 = _last(series, f"a=4, {high}")
+        # a=4 helps at the largest M (TS kernels are faster) ...
+        assert big_a4 > big_a1
+        # ... by very roughly the kernel-rate ratio, not by miracles
+        assert big_a4 < 1.6 * big_a1
+    # smallest M: a=1 at least as good as a=8 (parallelism starvation)
+    small = {a: series[f"a={a}, greedy"][0][1] for a in (1, 8)}
+    assert small[1] >= 0.95 * small[8]
+    # §V-B: 'similar performances for all variants' of the high-level tree
+    finals = [
+        _last(series, f"a=4, {h}") for h in ("greedy", "binary", "flat", "fibonacci")
+    ]
+    assert max(finals) < 1.3 * min(finals)
+
+
+def test_figure6b_low_flat(benchmark, results_dir):
+    series = benchmark.pedantic(figure6, args=("flat",), iterations=1, rounds=1)
+    save_and_print(results_dir, "figure6b.txt", format_series(series))
+    assert all(g > 0 for pts in series.values() for _, g in pts)
+    if not _large_m_swept():
+        return
+    for high in ("greedy", "binary", "flat", "fibonacci"):
+        big_a1 = _last(series, f"a=1, {high}")
+        big_a8 = _last(series, f"a=8, {high}")
+        # the flat low tree with a=1 has an m/p-long pipeline; TS domains
+        # divide it by a — speedup well above the ~15% kernel ratio
+        assert big_a8 > 1.5 * big_a1

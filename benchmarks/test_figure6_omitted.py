@@ -1,0 +1,30 @@
+"""The Figure 6 subfigures the paper omits "due to lack of space".
+
+§V-B: figures with a low-level tree set to BINARYTREE or FIBONACCI were
+omitted; "however they exhibit a behavior similar to Figure 6(a)
+(GREEDY)".  Nothing stops a reproduction from generating them — and
+checking that similarity claim quantitatively.
+"""
+
+from conftest import save_and_print
+
+from repro.bench.figures import figure6, format_series
+from repro.bench.runner import sweep_m_values
+
+
+def test_figure6_omitted_low_trees(benchmark, results_dir):
+    def generate():
+        return {low: figure6(low) for low in ("binary", "fibonacci")}
+
+    series = benchmark.pedantic(generate, iterations=1, rounds=1)
+    for low, data in series.items():
+        save_and_print(results_dir, f"figure6_{low}.txt", format_series(data))
+    if max(sweep_m_values()) < 512:
+        return
+    # the omitted trees behave like greedy: same curves within 20%
+    greedy = figure6("greedy")
+    for low, data in series.items():
+        for label, pts in data.items():
+            for (m1, g1), (m2, g2) in zip(pts, greedy[label]):
+                assert m1 == m2
+                assert 0.8 < g1 / g2 < 1.25, (low, label, m1)

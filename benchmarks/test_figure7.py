@@ -1,0 +1,36 @@
+"""Figure 7: influence of the low-level tree and the domino optimization.
+
+Paper claims (§V-B "Influence of the low level tree" / "... coupling level
+tree"):
+
+* with a = 4 all low-level trees perform roughly alike;
+* the domino never significantly hurts tall-and-skinny matrices and helps
+  most where the local/global coupling is critical — the FLATTREE low tree;
+* (noted in §V-B prose, benched in test_ablation) the domino hurts large
+  square matrices.
+"""
+
+from conftest import save_and_print
+
+from repro.bench.figures import figure7, format_series
+from repro.bench.runner import sweep_m_values
+
+
+def test_figure7_low_tree_and_domino(benchmark, results_dir):
+    series = benchmark.pedantic(figure7, iterations=1, rounds=1)
+    save_and_print(results_dir, "figure7.txt", format_series(series))
+    assert all(pts for pts in series.values())
+    if max(sweep_m_values()) < 512:
+        return
+    last = {label: pts[-1][1] for label, pts in series.items()}
+    # all low trees similar at a=4 (within 35%), domino on or off
+    for prefix in ("w/ domino", "w/o domino"):
+        vals = [v for k, v in last.items() if k.startswith(prefix)]
+        assert max(vals) < 1.35 * min(vals)
+    # domino helps the flat low tree the most on tall-skinny
+    gain_flat = last["w/ domino: flat"] / last["w/o domino: flat"]
+    assert gain_flat > 1.0
+    # and never *significantly* deteriorates any tree
+    for low in ("flat", "fibonacci", "greedy", "binary"):
+        ratio = last[f"w/ domino: {low}"] / last[f"w/o domino: {low}"]
+        assert ratio > 0.9

@@ -1,0 +1,29 @@
+"""Figure 8: algorithm comparison on M x 4480 (square -> tall and skinny).
+
+Paper claims (§V-C / conclusion): at the tall-and-skinny end, HQR beats
+[SLHD10] (1.3x), [BBD+10] (3.1x) and SCALAPACK (9.0x); the ordering
+HQR > [SLHD10] > [BBD+10] > SCALAPACK holds over the tall range.
+"""
+
+from conftest import save_and_print
+
+from repro.bench.figures import figure8, format_series
+from repro.bench.runner import sweep_m_values
+
+
+def test_figure8_algorithm_comparison(benchmark, results_dir):
+    series = benchmark.pedantic(figure8, iterations=1, rounds=1)
+    save_and_print(results_dir, "figure8.txt", format_series(series))
+    last = {label: pts[-1][1] for label, pts in series.items()}
+    # HQR wins at every swept size
+    for i in range(len(series["HQR"])):
+        hqr = series["HQR"][i][1]
+        for other in ("Scalapack", "[BBD+10]", "[SLHD10]"):
+            assert hqr >= 0.98 * series[other][i][1], (other, i)
+    if max(sweep_m_values()) < 512:
+        return
+    # tall-and-skinny ordering and speedup magnitudes (paper: 1.3x / 3.1x / 9x)
+    assert last["HQR"] > last["[SLHD10]"] > last["[BBD+10]"] > last["Scalapack"]
+    assert 1.05 < last["HQR"] / last["[SLHD10]"] < 2.0
+    assert 2.0 < last["HQR"] / last["[BBD+10]"] < 5.0
+    assert last["HQR"] / last["Scalapack"] > 5.0

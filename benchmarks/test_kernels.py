@@ -1,0 +1,72 @@
+"""Micro-benchmarks of the six numeric tile kernels.
+
+These are genuine pytest-benchmark timings of the numpy kernels (not the
+simulator).  The paper's TS/TT distinction is a *kernel-rate* effect; the
+numpy implementations are BLAS-2-bound and do not reproduce the MKL rate
+gap (that gap enters the study through the calibrated simulator instead),
+but TTQRT/TTMQR must beat TSQRT/TSMQR here because they exploit the
+triangular V2 (half the flops).
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import geqrt, tsmqr, tsqrt, ttmqr, ttqrt, unmqr
+
+B = 64
+
+
+@pytest.fixture
+def tiles(rng=None):
+    r = np.random.default_rng(7)
+    return {
+        "sq": r.standard_normal((B, B)),
+        "sq2": r.standard_normal((B, B)),
+        "c1": r.standard_normal((B, B)),
+        "c2": r.standard_normal((B, B)),
+    }
+
+
+def test_geqrt_speed(benchmark, tiles):
+    benchmark(lambda: geqrt(tiles["sq"].copy()))
+
+
+def test_unmqr_speed(benchmark, tiles):
+    ref = geqrt(tiles["sq"].copy())
+    benchmark(lambda: unmqr(ref, tiles["c1"].copy()))
+
+
+def test_tsqrt_speed(benchmark, tiles):
+    top = tiles["sq"].copy()
+    geqrt(top)
+
+    def run():
+        tsqrt(top.copy(), tiles["sq2"].copy())
+
+    benchmark(run)
+
+
+def test_ttqrt_speed(benchmark, tiles):
+    t1, t2 = tiles["sq"].copy(), tiles["sq2"].copy()
+    geqrt(t1)
+    geqrt(t2)
+
+    def run():
+        ttqrt(t1.copy(), t2.copy())
+
+    benchmark(run)
+
+
+def test_tsmqr_speed(benchmark, tiles):
+    top = tiles["sq"].copy()
+    geqrt(top)
+    ref = tsqrt(top, tiles["sq2"].copy())
+    benchmark(lambda: tsmqr(ref, tiles["c1"].copy(), tiles["c2"].copy()))
+
+
+def test_ttmqr_speed(benchmark, tiles):
+    t1, t2 = tiles["sq"].copy(), tiles["sq2"].copy()
+    geqrt(t1)
+    geqrt(t2)
+    ref = ttqrt(t1, t2)
+    benchmark(lambda: ttmqr(ref, tiles["c1"].copy(), tiles["c2"].copy()))

@@ -1,0 +1,79 @@
+"""Tables I-IV and Figures 1-5: the paper's combinatorial artifacts.
+
+These are exact objects; the benchmark times their construction and the
+assertions pin the reproduced content.
+"""
+
+from conftest import save_and_print
+
+from repro.bench.tables import (
+    ascii_tree,
+    figure5_views,
+    panel_tree_figures,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.hqr.levels import format_level_grid
+from repro.trees.schedule import format_killer_table
+
+
+def test_table1_flat_tree_panel(benchmark, results_dir):
+    t = benchmark(table1)
+    assert all(t[i][0] == (0, i) for i in range(1, 12))
+    save_and_print(results_dir, "table1.txt", format_killer_table(t, [0]))
+
+
+def test_table2_flat_three_panels(benchmark, results_dir):
+    t = benchmark(table2)
+    # perfect pipelining: last elimination of panel 2 at step 13
+    assert t[11][2] == (2, 13)
+    save_and_print(results_dir, "table2.txt", format_killer_table(t, [0, 1, 2]))
+
+
+def test_table3_binary_three_panels(benchmark, results_dir):
+    t = benchmark(table3)
+    assert t[11][0] == (10, 1)
+    assert t[4][1] == (3, 4)
+    save_and_print(results_dir, "table3.txt", format_killer_table(t, [0, 1, 2]))
+
+
+def test_table4_greedy_three_panels(benchmark, results_dir):
+    t = benchmark(table4)
+    # greedy finishes all three panels by step 8
+    assert max(step for row in t for cell in row if cell for step in [cell[1]]) == 8
+    save_and_print(results_dir, "table4.txt", format_killer_table(t, [0, 1, 2]))
+
+
+def test_figures_1_to_4_panel_trees(benchmark, results_dir):
+    figs = benchmark(panel_tree_figures)
+    # Figure 1: flat — row 0 kills everyone
+    assert all(k == 0 for _, k in figs["fig1_flat"])
+    # Figure 2: binary — first round pairs neighbours
+    assert figs["fig2_binary"][0] == (1, 0)
+    # Figure 3: local killers are rows 0, 1, 2 (cyclic layout), reduced by a
+    # binary tree of size 3
+    local_killers = {k for _, k in figs["fig3_flat_binary"]}
+    cross = [(v, k) for v, k in figs["fig3_flat_binary"] if v in (1, 2)]
+    assert {0, 1, 2} <= local_killers
+    assert cross == [(1, 0), (2, 1)] or sorted(cross) == [(1, 0), (2, 0)]
+    # Figure 4: six contiguous domains -> TS kills are (1<-0), (3<-2), ...
+    ts_pairs = [(v, k) for v, k in figs["fig4_domain"] if v - k == 1]
+    assert ts_pairs == [(2 * d + 1, 2 * d) for d in range(6)]
+    # ... and the six domain killers 0,2,..,10 reduce via a binary tree
+    killers_tree = [(v, k) for v, k in figs["fig4_domain"] if v - k != 1]
+    assert {k for _, k in killers_tree} <= {0, 2, 4, 6, 8, 10}
+    text = "\n\n".join(f"{name}:\n{ascii_tree(el, 12)}" for name, el in figs.items())
+    save_and_print(results_dir, "figures1-4.txt", text)
+
+
+def test_figure5_level_views(benchmark, results_dir):
+    grid, locals_ = benchmark(figure5_views)
+    # §IV-B anchors
+    assert grid[4][1] == 2 and grid[5][1] == 2 and grid[6][2] == 2
+    assert all(grid[k][k] == 3 for k in range(10))
+    parts = ["Global view:", format_level_grid(grid)]
+    for r, lv in enumerate(locals_):
+        parts += [f"\nLocal view P{r}:", format_level_grid(lv)]
+    save_and_print(results_dir, "figure5.txt", "\n".join(parts))

@@ -1,0 +1,61 @@
+"""Auto-tune HQR's tree parameters for a given matrix shape.
+
+The paper (§V-B) shows the best (a, low tree, high tree, domino) choice
+depends on the matrix shape.  This example sweeps the configuration space
+on the simulated cluster and reports the winners — the same exercise the
+paper performs by hand to pick its Figure 8/9 settings.
+
+Run:  python examples/autotune.py [--m 256] [--n 16]
+"""
+
+import argparse
+import itertools
+
+from repro.bench import BenchSetup, run_config
+from repro.hqr import HQRConfig
+
+
+def sweep(m: int, n: int, setup: BenchSetup, budget: int | None = None):
+    """Yield (gflops, config) over the HQR parameter grid."""
+    grid = list(
+        itertools.product(
+            (1, 2, 4, 8),
+            ("flat", "binary", "greedy", "fibonacci"),
+            ("flat", "binary", "greedy", "fibonacci"),
+            (True, False),
+        )
+    )
+    if budget:
+        grid = grid[:budget]
+    for a, low, high, domino in grid:
+        cfg = HQRConfig(
+            p=setup.grid_p, q=setup.grid_q, a=a,
+            low_tree=low, high_tree=high, domino=domino,
+        )
+        yield run_config(m, n, cfg, setup).gflops, cfg
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--m", type=int, default=128, help="tile rows")
+    parser.add_argument("--n", type=int, default=16, help="tile columns")
+    args = parser.parse_args()
+
+    setup = BenchSetup()
+    results = sorted(sweep(args.m, args.n, setup), key=lambda t: -t[0])
+
+    shape = "tall and skinny" if args.m >= 4 * args.n else "square-ish"
+    print(f"matrix: {args.m} x {args.n} tiles ({shape}), "
+          f"b={setup.b}, grid {setup.grid_p}x{setup.grid_q}\n")
+    print("top 5 configurations:")
+    for gf, cfg in results[:5]:
+        print(f"  {gf:8.1f} GFlop/s  {cfg}")
+    print("\nbottom 3:")
+    for gf, cfg in results[-3:]:
+        print(f"  {gf:8.1f} GFlop/s  {cfg}")
+    best, worst = results[0][0], results[-1][0]
+    print(f"\ntuning headroom: {best / worst:.2f}x between best and worst")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Design-space exploration with the analytic model + accelerator preview.
+
+Combines three library capabilities the paper's §VI sketches as future
+work: fast critical-path/throughput analysis of the whole configuration
+space, verification of the top candidates against the event simulator, and
+a what-if on accelerator-equipped nodes.
+
+Run:  python examples/design_space.py [--m 128] [--n 16]
+"""
+
+import argparse
+
+from repro.dag import TaskGraph, parallelism_profile
+from repro.hqr import HQRConfig, hqr_elimination_list
+from repro.models import ConfigExplorer
+from repro.runtime import Machine
+from repro.runtime.accelerated import AcceleratedMachine, AcceleratedSimulator
+from repro.tiles.layout import BlockCyclic2D
+from repro.viz import render_parallelism_profile
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--m", type=int, default=128)
+    parser.add_argument("--n", type=int, default=16)
+    args = parser.parse_args()
+    m, n, b = args.m, args.n, 280
+    machine = Machine.edel()
+    layout = BlockCyclic2D(15, 4)
+
+    print(f"=== model ranking of the HQR space for {m} x {n} tiles ===")
+    explorer = ConfigExplorer(m, n, machine, layout, b, grid_p=15, grid_q=4)
+    ranked = explorer.rank()
+    for rc in ranked[:5]:
+        p = rc.prediction
+        print(f"  {p.gflops:8.1f} GF/s predicted ({p.binding:>13}-bound)  {rc.config}")
+
+    print("\n=== simulator verification of the top 3 ===")
+    for rc, simulated in explorer.verify(ranked, top=3):
+        print(f"  model {rc.gflops:8.1f} -> simulated {simulated:8.1f} GF/s  "
+              f"{rc.config}")
+
+    best = ranked[0].config
+    graph = TaskGraph.from_eliminations(hqr_elimination_list(m, n, best), m, n)
+    print("\n=== parallelism profile of the winner ===")
+    print(render_parallelism_profile(parallelism_profile(graph), label="best"))
+
+    print("\n=== accelerator what-if (updates offloaded to GPUs) ===")
+    for n_acc in (0, 1, 2):
+        acc = AcceleratedMachine(base=machine, accelerators=n_acc)
+        res = AcceleratedSimulator(acc, layout, b).run(graph)
+        print(f"  {n_acc} accelerator(s)/node: {res.gflops:8.1f} GF/s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Message-passing execution: four ranks factor one matrix cooperatively.
+
+Demonstrates the ownership-based distributed engine: every rank holds only
+the tiles its layout assigns, runs exactly the tasks placed on it, and
+ships tiles/reflectors to consumers.  In-process threads stand in for MPI
+processes (swap ``ThreadComm`` for ``MPIComm`` under ``mpiexec`` on a real
+cluster — the engine code is identical).
+
+Run:  python examples/distributed_ranks.py
+"""
+
+import numpy as np
+
+from repro.dag import TaskGraph
+from repro.distributed.engine import DistributedEngine, ThreadComm
+from repro.hqr import HQRConfig, hqr_elimination_list
+from repro.tiles.layout import BlockCyclic2D
+
+b, m, n = 25, 8, 4  # 200 x 100 matrix as 8 x 4 tiles of 25
+rng = np.random.default_rng(3)
+A = rng.standard_normal((m * b, n * b))
+
+config = HQRConfig(p=2, a=2, low_tree="greedy", high_tree="binary")
+graph = TaskGraph.from_eliminations(hqr_elimination_list(m, n, config), m, n)
+layout = BlockCyclic2D(2, 2)
+
+engine = DistributedEngine(graph, layout, ThreadComm(4))
+results = engine.run_threaded(A, b)
+
+print(f"matrix {m*b} x {n*b}, {len(graph)} kernel tasks over 4 ranks "
+      f"(2 x 2 block-cyclic)")
+for rank in sorted(results):
+    r = results[rank]
+    print(f"  rank {rank}: ran {r.tasks_run:>3} tasks, "
+          f"sent {r.sends:>3} / received {r.recvs:>3} messages, "
+          f"holds {len(r.tiles)} tiles")
+
+R = np.triu(engine.gather_matrix(results, m * b, n * b, b))
+import scipy.linalg as sla
+
+Rref = sla.qr(A, mode="r")[0][: n * b]
+err = np.max(np.abs(np.abs(R[: n * b]) - np.abs(Rref)))
+print(f"gathered R vs LAPACK:  max |dR| = {err:.2e}")
+assert err < 1e-10
+print("distributed factorization matches LAPACK.")

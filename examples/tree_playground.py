@@ -1,0 +1,61 @@
+"""Explore reduction trees and coarse schedules — the paper's §III by hand.
+
+Prints Tables I-IV style schedules for every tree, the Figure 5 level
+labels, and per-tree critical paths, for a matrix shape of your choice.
+
+Run:  python examples/tree_playground.py [--m 12] [--n 3] [--p 3] [--a 2]
+"""
+
+import argparse
+
+from repro.bench.tables import figure5_views
+from repro.hqr import HQRConfig, hqr_elimination_list
+from repro.hqr.levels import format_level_grid
+from repro.trees import (
+    coarse_schedule,
+    greedy_elimination_list,
+    killer_table,
+    make_tree,
+    panel_elimination_list,
+)
+from repro.trees.schedule import format_killer_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--m", type=int, default=12)
+    parser.add_argument("--n", type=int, default=3)
+    parser.add_argument("--p", type=int, default=3)
+    parser.add_argument("--a", type=int, default=2)
+    args = parser.parse_args()
+    m, n = args.m, args.n
+    panels = list(range(min(n, m - 1)))
+
+    for name in ("flat", "binary", "fibonacci"):
+        elims = panel_elimination_list(m, n, make_tree(name))
+        steps = coarse_schedule(elims)
+        print(f"=== {name} tree, {m} x {n} tiles "
+              f"(finishes at step {max(steps.values())}) ===")
+        print(format_killer_table(killer_table(elims, m, panels, steps), panels))
+        print()
+
+    elims, steps = greedy_elimination_list(m, n, return_steps=True)
+    print(f"=== greedy (globally pipelined, finishes at step "
+          f"{max(steps.values())}) ===")
+    print(format_killer_table(killer_table(elims, m, panels, steps), panels))
+    print()
+
+    cfg = HQRConfig(p=args.p, a=args.a, low_tree="greedy", high_tree="binary")
+    elims = hqr_elimination_list(m, n, cfg)
+    steps = coarse_schedule(elims)
+    print(f"=== HQR {cfg} (finishes at step {max(steps.values())}) ===")
+    print(format_killer_table(killer_table(elims, m, panels, steps), panels))
+    print()
+
+    grid, _ = figure5_views(m, n, args.p, args.a)
+    print(f"=== tile levels (global view, p={args.p}, a={args.a}) ===")
+    print(format_level_grid(grid))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""[BBD+10]: the plain flat-tree tile QR of DPLASMA (Bosilca et al. 2011).
+
+Each panel is reduced by one global flat tree rooted at the diagonal tile,
+with TS kernels, victims in natural (top-to-bottom) order.  Two properties
+drive its behaviour in the paper's comparison (§V-C):
+
+* a pipeline of length ``m`` on the first tile column — crippling for tall
+  and skinny matrices;
+* the natural ordering ignores the 2-D block-cyclic distribution, so the
+  killer tile hops to a different node at (almost) every elimination —
+  "many more communications than needed".
+"""
+
+from __future__ import annotations
+
+from repro.trees.base import Elimination
+from repro.trees.flat import FlatTree
+from repro.trees.pipelined import panel_elimination_list
+
+
+def bbd10_elimination_list(m: int, n: int) -> list[Elimination]:
+    """Flat-tree TS elimination list over the whole matrix, natural order."""
+    return panel_elimination_list(m, n, FlatTree(), ts=True)

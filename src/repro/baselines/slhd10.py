@@ -1,0 +1,35 @@
+"""[SLHD10]: Song, Ltaief, Hadri, Dongarra (SC'10) — communication-avoiding
+tile QR on a 1-D block row distribution.
+
+§IV-A shows it is a sub-case of HQR: "virtual grid value p = 1, domains of
+size a = m/r, data distribution CYCLIC(a), low-level binary tree.  (Since
+p = 1, neither the coupling level nor the high level are relevant.)"
+
+Within each node, a full-TS flat tree (the domain) reduces the node's block
+of rows; a binary tree then reduces the ``r`` node survivors.  The paper's
+critique (§V-C): the intra-node pipeline is still ``m / r`` long (too long
+for very tall local matrices), and the 1-D block layout load-imbalances on
+square matrices (speedup bound ``p (1 - n / (3m))``, §III-C).
+"""
+
+from __future__ import annotations
+
+from repro.hqr.config import HQRConfig
+from repro.hqr.hierarchy import hqr_elimination_list
+from repro.tiles.layout import Cyclic1D, Layout
+from repro.trees.base import Elimination
+
+
+def slhd10_config(r: int, m: int) -> HQRConfig:
+    """HQR parameterization of [SLHD10] on ``r`` nodes (m tile rows)."""
+    return HQRConfig.slhd10(r, m)
+
+
+def slhd10_layout(r: int, m: int) -> Layout:
+    """The CYCLIC(a) = 1-D block data distribution over ``r`` nodes."""
+    return Cyclic1D(r, block=-(-m // r))
+
+
+def slhd10_elimination_list(m: int, n: int, r: int) -> list[Elimination]:
+    """Full elimination list of [SLHD10] for an ``m x n`` tile matrix."""
+    return hqr_elimination_list(m, n, slhd10_config(r, m))

@@ -1,0 +1,168 @@
+"""Performance-figure generators (Figures 6-9).
+
+Every function returns ``{series_label: [(M_or_N, gflops), ...]}`` — the
+same series the corresponding paper figure plots.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.bbd10 import bbd10_elimination_list
+from repro.baselines.scalapack import ScalapackModel
+from repro.baselines.slhd10 import slhd10_elimination_list, slhd10_layout
+from repro.bench.runner import (
+    BenchSetup,
+    run_config,
+    run_eliminations,
+    sweep_m_values,
+    sweep_n_values,
+)
+from repro.hqr.config import HQRConfig
+
+Series = dict[str, list[tuple[int, float]]]
+
+#: tile columns of the M-sweep figures (N = 4480 = 16 * 280)
+N_TILES = 16
+
+
+def figure6(low_tree: str, setup: BenchSetup | None = None) -> Series:
+    """Figure 6: influence of ``a`` and the high-level tree (no domino).
+
+    Subfigure (a) is ``low_tree="greedy"``, (b) is ``low_tree="flat"``; the
+    paper omits binary/fibonacci low trees ("similar to greedy") but this
+    generator accepts them too.  Series are ``a=<a>, <high>`` for
+    ``a in {1, 4, 8}`` x ``high in {greedy, binary, flat, fibonacci}``.
+    """
+    setup = setup or BenchSetup()
+    out: Series = {}
+    for high in ("greedy", "binary", "flat", "fibonacci"):
+        for a in (1, 4, 8):
+            label = f"a={a}, {high}"
+            pts = []
+            for m in sweep_m_values():
+                cfg = HQRConfig(
+                    p=setup.grid_p,
+                    q=setup.grid_q,
+                    a=a,
+                    low_tree=low_tree,
+                    high_tree=high,
+                    domino=False,
+                )
+                res = run_config(m, N_TILES, cfg, setup)
+                pts.append((m * setup.b, res.gflops))
+            out[label] = pts
+    return out
+
+
+def figure7(setup: BenchSetup | None = None) -> Series:
+    """Figure 7: low-level tree x domino on/off (a=4, high=fibonacci)."""
+    setup = setup or BenchSetup()
+    out: Series = {}
+    for domino in (False, True):
+        for low in ("flat", "fibonacci", "greedy", "binary"):
+            label = f"{'w/' if domino else 'w/o'} domino: {low}"
+            pts = []
+            for m in sweep_m_values():
+                if m < 64:
+                    continue  # the paper's Figure 7 starts at M = 17,920
+                cfg = HQRConfig(
+                    p=setup.grid_p,
+                    q=setup.grid_q,
+                    a=4,
+                    low_tree=low,
+                    high_tree="fibonacci",
+                    domino=domino,
+                )
+                res = run_config(m, N_TILES, cfg, setup)
+                pts.append((m * setup.b, res.gflops))
+            out[label] = pts
+    return out
+
+
+def hqr_figure8_config(setup: BenchSetup) -> HQRConfig:
+    """The paper's HQR settings for the M-sweep comparison (§V-C):
+    both trees FIBONACCI, a = 4, domino on."""
+    return HQRConfig(
+        p=setup.grid_p,
+        q=setup.grid_q,
+        a=4,
+        low_tree="fibonacci",
+        high_tree="fibonacci",
+        domino=True,
+    )
+
+
+def hqr_figure9_config(setup: BenchSetup, n: int) -> HQRConfig:
+    """The paper's HQR settings for the N-sweep (§V-C): high FLATTREE, low
+    FIBONACCI, ``a=1`` and domino for skinny N, ``a=4`` no domino once the
+    column count provides enough parallelism."""
+    skinny = n < 40
+    return HQRConfig(
+        p=setup.grid_p,
+        q=setup.grid_q,
+        a=1 if skinny else 4,
+        low_tree="fibonacci",
+        high_tree="flat",
+        domino=skinny,
+    )
+
+
+def figure8(setup: BenchSetup | None = None) -> Series:
+    """Figure 8: HQR vs SCALAPACK vs [BBD+10] vs [SLHD10], M x 4480."""
+    setup = setup or BenchSetup()
+    nodes = setup.machine.nodes
+    scal = ScalapackModel(machine=setup.machine, pr=setup.grid_p, qc=setup.grid_q)
+    out: Series = {k: [] for k in ("Scalapack", "[BBD+10]", "[SLHD10]", "HQR")}
+    for m in sweep_m_values():
+        M = m * setup.b
+        N = N_TILES * setup.b
+        out["Scalapack"].append((M, scal.gflops(M, N)))
+        res = run_eliminations(bbd10_elimination_list(m, N_TILES), m, N_TILES, setup)
+        out["[BBD+10]"].append((M, res.gflops))
+        res = run_eliminations(
+            slhd10_elimination_list(m, N_TILES, nodes),
+            m,
+            N_TILES,
+            setup,
+            layout=slhd10_layout(nodes, m),
+        )
+        out["[SLHD10]"].append((M, res.gflops))
+        res = run_config(m, N_TILES, hqr_figure8_config(setup), setup)
+        out["HQR"].append((M, res.gflops))
+    return out
+
+
+def figure9(setup: BenchSetup | None = None, m: int = 240) -> Series:
+    """Figure 9: the same four algorithms on a 67,200 x N matrix."""
+    setup = setup or BenchSetup()
+    nodes = setup.machine.nodes
+    scal = ScalapackModel(machine=setup.machine, pr=setup.grid_p, qc=setup.grid_q)
+    out: Series = {k: [] for k in ("Scalapack", "[BBD+10]", "[SLHD10]", "HQR")}
+    M = m * setup.b
+    for n in sweep_n_values():
+        if n > m:
+            continue
+        N = n * setup.b
+        out["Scalapack"].append((N, scal.gflops(M, N)))
+        res = run_eliminations(bbd10_elimination_list(m, n), m, n, setup)
+        out["[BBD+10]"].append((N, res.gflops))
+        res = run_eliminations(
+            slhd10_elimination_list(m, n, nodes),
+            m,
+            n,
+            setup,
+            layout=slhd10_layout(nodes, m),
+        )
+        out["[SLHD10]"].append((N, res.gflops))
+        res = run_config(m, n, hqr_figure9_config(setup, n), setup)
+        out["HQR"].append((N, res.gflops))
+    return out
+
+
+def format_series(series: Series, xlabel: str = "M") -> str:
+    """Plain-text rendering of a figure's series."""
+    lines = []
+    for label, pts in series.items():
+        lines.append(f"{label}:")
+        for x, g in pts:
+            lines.append(f"  {xlabel}={x:>7d}  {g:8.1f} GFlop/s")
+    return "\n".join(lines)

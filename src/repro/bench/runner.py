@@ -1,0 +1,104 @@
+"""Shared machinery for the figure benchmarks.
+
+The paper's platform: b = 280, virtual grid 15 x 4 on 60 nodes x 8 cores
+(edel).  Matrix sizes are expressed in *tiles* internally; the paper's
+``M`` axis values are ``m * 280``.
+
+Scaling: the full paper sweep reaches m = 1024 tile rows (M = 286,720) and
+240 x 240 tiles for Figure 9 — a few million simulated tasks.  The default
+sweeps are truncated to keep a laptop run in minutes; set the environment
+variable ``REPRO_BENCH_SCALE=full`` to simulate every published point (or
+``=small`` for a quick smoke run).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.dag.graph import TaskGraph
+from repro.hqr.config import HQRConfig
+from repro.hqr.hierarchy import hqr_elimination_list
+from repro.runtime.machine import Machine
+from repro.runtime.simulator import ClusterSimulator, SimulationResult
+from repro.tiles.layout import BlockCyclic2D, Layout
+from repro.trees.base import Elimination
+
+
+def bench_scale() -> str:
+    """Current benchmark scale: ``small``, ``default`` or ``full``."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "default").lower()
+    if scale not in ("small", "default", "full"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be small/default/full, got {scale!r}")
+    return scale
+
+
+#: tile-row counts of the paper's Figure 6-8 sweep (M = m * 280)
+PAPER_M_TILES = (16, 32, 64, 128, 256, 512, 1024)
+
+
+def sweep_m_values() -> tuple[int, ...]:
+    """Figure 6-8 tile-row sweep, truncated by ``REPRO_BENCH_SCALE``."""
+    scale = bench_scale()
+    if scale == "small":
+        return PAPER_M_TILES[:3]
+    if scale == "default":
+        return PAPER_M_TILES[:6]
+    return PAPER_M_TILES
+
+
+def sweep_n_values() -> tuple[int, ...]:
+    """Figure 9 tile-column sweep (m = 240), truncated by scale."""
+    scale = bench_scale()
+    if scale == "small":
+        return (4, 16, 40)
+    if scale == "default":
+        return (4, 16, 40, 80, 120)
+    return (4, 16, 40, 80, 120, 160, 200, 240)
+
+
+@dataclass(frozen=True)
+class BenchSetup:
+    """The paper's experimental conditions (§V-A)."""
+
+    b: int = 280
+    grid_p: int = 15
+    grid_q: int = 4
+    machine: Machine = field(default_factory=Machine.edel)
+
+    @property
+    def layout(self) -> Layout:
+        """2-D block-cyclic layout over the process grid."""
+        return BlockCyclic2D(self.grid_p, self.grid_q)
+
+    def simulator(self, layout: Layout | None = None, **kwargs) -> ClusterSimulator:
+        """Cluster simulator bound to this setup."""
+        return ClusterSimulator(
+            self.machine, layout if layout is not None else self.layout, self.b, **kwargs
+        )
+
+
+def run_eliminations(
+    elims: list[Elimination],
+    m: int,
+    n: int,
+    setup: BenchSetup | None = None,
+    layout: Layout | None = None,
+) -> SimulationResult:
+    """Simulate an elimination list under a bench setup."""
+    setup = setup or BenchSetup()
+    graph = TaskGraph.from_eliminations(elims, m, n)
+    return setup.simulator(layout).run(graph)
+
+
+def run_config(
+    m: int,
+    n: int,
+    config: HQRConfig,
+    setup: BenchSetup | None = None,
+    layout: Layout | None = None,
+) -> SimulationResult:
+    """Build the HQR elimination list for ``config`` and simulate it."""
+    return run_eliminations(
+        hqr_elimination_list(m, n, config), m, n, setup=setup, layout=layout
+    )

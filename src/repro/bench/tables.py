@@ -1,0 +1,86 @@
+"""Table and structural-figure generators (Tables I-IV, Figures 1-5).
+
+These artifacts are exact combinatorial objects, so the reproduction is
+checked cell by cell in the test-suite; the benchmark targets print them in
+the paper's layout.
+"""
+
+from __future__ import annotations
+
+from repro.hqr.config import HQRConfig
+from repro.hqr.hierarchy import hqr_elimination_list
+from repro.hqr.levels import level_grid, local_view
+
+from repro.trees.binary import BinaryTree
+
+from repro.trees.flat import FlatTree
+from repro.trees.greedy import greedy_elimination_list
+from repro.trees.pipelined import panel_elimination_list
+from repro.trees.schedule import killer_table
+
+
+def table1(m: int = 12) -> list[list[tuple[int, int] | None]]:
+    """Table I: flat-tree reduction of panel 0 (killer, step per row)."""
+    elims = panel_elimination_list(m, 1, FlatTree())
+    return killer_table(elims, m, [0])
+
+
+def table2(m: int = 12, panels: int = 3) -> list[list[tuple[int, int] | None]]:
+    """Table II: flat-tree reduction of the first ``panels`` panels."""
+    elims = panel_elimination_list(m, panels, FlatTree())
+    return killer_table(elims, m, list(range(panels)))
+
+
+def table3(m: int = 12, panels: int = 3) -> list[list[tuple[int, int] | None]]:
+    """Table III: binary-tree reduction of the first ``panels`` panels."""
+    elims = panel_elimination_list(m, panels, BinaryTree())
+    return killer_table(elims, m, list(range(panels)))
+
+
+def table4(m: int = 12, panels: int = 3) -> list[list[tuple[int, int] | None]]:
+    """Table IV: greedy reduction of the first ``panels`` panels."""
+    elims, steps = greedy_elimination_list(m, panels, return_steps=True)
+    return killer_table(elims, m, list(range(panels)), steps=steps)
+
+
+def panel_tree_figures(m: int = 12) -> dict[str, list[tuple[int, int]]]:
+    """Figures 1-4: reduction structures of panel 0 as (victim, killer) lists.
+
+    * Figure 1 — flat tree;
+    * Figure 2 — binary tree;
+    * Figure 3 — flat/binary: local flat trees per cluster (p=3, cyclic),
+      then a binary tree over the three local killers;
+    * Figure 4 — domain tree: two domains per cluster, binary over the six
+      domain killers.
+    """
+    out: dict[str, list[tuple[int, int]]] = {}
+    out["fig1_flat"] = FlatTree().eliminations(range(m))
+    out["fig2_binary"] = BinaryTree().eliminations(range(m))
+    # Figure 3: p = 3 clusters, cyclic rows, flat inside, binary across.
+    cfg = HQRConfig(p=3, a=1, low_tree="flat", high_tree="binary", domino=False)
+    out["fig3_flat_binary"] = [
+        (e.victim, e.killer) for e in hqr_elimination_list(m, 1, cfg)
+    ]
+    # Figure 4: six contiguous domains of size 2 (two per cluster under the
+    # block distribution), flat TS inside, binary tree over the six domain
+    # killers 0, 2, 4, 6, 8, 10.
+    cfg = HQRConfig(p=1, a=2, low_tree="binary", high_tree="flat", domino=False)
+    out["fig4_domain"] = [
+        (e.victim, e.killer) for e in hqr_elimination_list(m, 1, cfg)
+    ]
+    return out
+
+
+def figure5_views(
+    m: int = 24, n: int = 10, p: int = 3, a: int = 2
+) -> tuple[list[list[int | None]], list[list[list[int | None]]]]:
+    """Figure 5: tile-level labels — global view and per-cluster local views."""
+    grid = level_grid(m, n, p, a, domino=True)
+    locals_ = [local_view(grid, p, r) for r in range(p)]
+    return grid, locals_
+
+
+def ascii_tree(elims: list[tuple[int, int]], m: int) -> str:
+    """Render a single-panel reduction as an indented kill list."""
+    lines = [f"{killer:>3} kills {victim:<3}" for victim, killer in elims]
+    return "\n".join(lines)

@@ -1,0 +1,310 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+factor     factor a random matrix and print the §V-A numerical checks
+simulate   simulate an HQR configuration on the modelled cluster
+tables     print the paper's Tables I-IV
+levels     print the Figure 5 tile-level views
+compare    HQR vs SCALAPACK / [BBD+10] / [SLHD10] at one matrix size
+explore    rank the HQR configuration space with the analytic model
+gantt      simulate and print a per-node utilization timeline
+export     write an elimination list as JSON
+replay     validate + summarize an elimination-list JSON file
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _add_config_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--p", type=int, default=3, help="virtual grid rows")
+    p.add_argument("--q", type=int, default=1, help="virtual grid columns")
+    p.add_argument("--a", type=int, default=2, help="TS domain size")
+    p.add_argument("--low", default="greedy", help="low-level tree")
+    p.add_argument("--high", default="fibonacci", help="high-level tree")
+    p.add_argument("--no-domino", action="store_true", help="disable coupling level")
+
+
+def _config(args):
+    from repro.hqr.config import HQRConfig
+
+    return HQRConfig(
+        p=args.p, q=args.q, a=args.a,
+        low_tree=args.low, high_tree=args.high, domino=not args.no_domino,
+    )
+
+
+def cmd_factor(args) -> int:
+    from repro.core.api import qr
+
+    rng = np.random.default_rng(args.seed)
+    A = rng.standard_normal((args.M, args.N))
+    res = qr(A, b=args.b, config=_config(args), threads=args.threads)
+    print(f"factored {args.M} x {args.N} (b={args.b}) with {_config(args)}")
+    print(f"tasks:          {len(res.graph)}")
+    print(f"orthogonality:  {res.orthogonality_error():.2e}")
+    print(f"reconstruction: {res.reconstruction_error(A):.2e}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from repro.bench.runner import BenchSetup, run_config
+    from repro.runtime.machine import Machine
+
+    setup = BenchSetup(
+        b=args.b,
+        grid_p=args.p,
+        grid_q=args.q,
+        machine=Machine(nodes=args.nodes, cores_per_node=args.cores),
+    )
+    cfg = _config(args).with_(p=args.p, q=args.q)
+    res = run_config(args.m, args.n, cfg, setup)
+    mach = setup.machine
+    print(f"simulated {args.m} x {args.n} tiles (b={args.b}) on "
+          f"{args.nodes} nodes x {args.cores} cores")
+    print(f"config:     {cfg}")
+    print(f"makespan:   {res.makespan:.4f} s")
+    print(f"gflops:     {res.gflops:.1f}  ({res.percent_of_peak(mach):.1f}% of peak)")
+    print(f"messages:   {res.messages}")
+    print(f"efficiency: {res.efficiency:.2%}")
+    return 0
+
+
+def cmd_tables(args) -> int:
+    from repro.bench.tables import table1, table2, table3, table4
+    from repro.trees.schedule import format_killer_table
+
+    m = args.m
+    print("Table I (flat, panel 0):")
+    print(format_killer_table(table1(m), [0]))
+    for name, fn in (("II (flat)", table2), ("III (binary)", table3), ("IV (greedy)", table4)):
+        print(f"\nTable {name}, first 3 panels:")
+        print(format_killer_table(fn(m, 3), [0, 1, 2]))
+    return 0
+
+
+def cmd_levels(args) -> int:
+    from repro.bench.tables import figure5_views
+    from repro.hqr.levels import format_level_grid
+
+    grid, locals_ = figure5_views(args.m, args.n, args.p, args.a)
+    print(f"tile levels, {args.m} x {args.n} tiles, p={args.p}, a={args.a}")
+    print("global view:")
+    print(format_level_grid(grid))
+    for r, lv in enumerate(locals_):
+        print(f"\nlocal view, cluster {r}:")
+        print(format_level_grid(lv))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro.baselines import ScalapackModel
+    from repro.baselines.bbd10 import bbd10_elimination_list
+    from repro.baselines.slhd10 import slhd10_elimination_list, slhd10_layout
+    from repro.bench.figures import hqr_figure8_config, hqr_figure9_config
+    from repro.bench.runner import BenchSetup, run_config, run_eliminations
+
+    setup = BenchSetup()
+    mach = setup.machine
+    m, n = args.m, args.n
+    tall = m >= 4 * n
+    cfg = hqr_figure8_config(setup) if tall else hqr_figure9_config(setup, n)
+    rows = []
+    rows.append(("HQR", run_config(m, n, cfg, setup)))
+    rows.append(("[BBD+10]", run_eliminations(bbd10_elimination_list(m, n), m, n, setup)))
+    rows.append((
+        "[SLHD10]",
+        run_eliminations(
+            slhd10_elimination_list(m, n, mach.nodes), m, n, setup,
+            layout=slhd10_layout(mach.nodes, m),
+        ),
+    ))
+    scal = ScalapackModel(machine=mach, pr=setup.grid_p, qc=setup.grid_q)
+    print(f"{m} x {n} tiles (b={setup.b}) on the edel model "
+          f"({'tall-skinny' if tall else 'square-ish'} settings)")
+    for name, res in rows:
+        print(f"{name:>10}: {res.gflops:8.1f} GFlop/s  "
+              f"({res.percent_of_peak(mach):5.1f}% of peak, {res.messages} msgs)")
+    g = scal.gflops(m * setup.b, n * setup.b)
+    print(f"{'Scalapack':>10}: {g:8.1f} GFlop/s  "
+          f"({100 * g / mach.peak_gflops():5.1f}% of peak, analytic model)")
+    return 0
+
+
+def cmd_explore(args) -> int:
+    from repro.models import ConfigExplorer
+    from repro.runtime.machine import Machine
+    from repro.tiles.layout import BlockCyclic2D
+
+    explorer = ConfigExplorer(
+        args.m, args.n, Machine.edel(), BlockCyclic2D(15, 4), args.b,
+        grid_p=15, grid_q=4,
+    )
+    ranked = explorer.rank()
+    print(f"model ranking for {args.m} x {args.n} tiles (b={args.b}):")
+    for rc in ranked[: args.top]:
+        p = rc.prediction
+        print(f"  {p.gflops:8.1f} GF/s ({p.binding:>13}-bound)  {rc.config}")
+    if args.verify:
+        print("\nsimulator verification:")
+        for rc, simulated in explorer.verify(ranked, top=min(3, args.top)):
+            print(f"  model {rc.gflops:8.1f} -> simulated {simulated:8.1f}  {rc.config}")
+    return 0
+
+
+def cmd_gantt(args) -> int:
+    from repro.bench.runner import BenchSetup
+    from repro.dag.graph import TaskGraph
+    from repro.hqr.hierarchy import hqr_elimination_list
+    from repro.runtime.trace import ascii_gantt, summarize
+
+    setup = BenchSetup()
+    cfg = _config(args).with_(p=setup.grid_p, q=setup.grid_q)
+    graph = TaskGraph.from_eliminations(
+        hqr_elimination_list(args.m, args.n, cfg), args.m, args.n
+    )
+    sim = setup.simulator(record_trace=True)
+    res = sim.run(graph)
+    print(f"{args.m} x {args.n} tiles, {cfg}: {res.gflops:.1f} GFlop/s")
+    print(ascii_gantt(res.trace, graph, width=args.width, max_nodes=args.nodes))
+    s = summarize(res.trace, graph)
+    print(f"imbalance (max/mean node busy): {s.imbalance():.3f}")
+    return 0
+
+
+def cmd_export(args) -> int:
+    from repro.hqr.hierarchy import hqr_elimination_list
+    from repro.io import eliminations_to_json
+
+    cfg = _config(args)
+    elims = hqr_elimination_list(args.m, args.n, cfg)
+    text = eliminations_to_json(elims, args.m, args.n, config=cfg)
+    if args.out == "-":
+        print(text)
+    else:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {len(elims)} eliminations to {args.out}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from repro.hqr.validate import check_elimination_list
+    from repro.io import eliminations_from_json
+    from repro.trees.schedule import coarse_schedule
+
+    with open(args.file) as fh:
+        elims, m, n, cfg = eliminations_from_json(fh.read())
+    check_elimination_list(elims, m, n)
+    steps = coarse_schedule(elims)
+    ts = sum(1 for e in elims if e.ts)
+    print(f"{args.file}: valid elimination list for {m} x {n} tiles")
+    print(f"config:       {cfg if cfg else '(not embedded)'}")
+    print(f"eliminations: {len(elims)}  ({ts} TS, {len(elims) - ts} TT)")
+    print(f"coarse steps: {max(steps.values(), default=0)}")
+    return 0
+
+
+def cmd_auto(args) -> int:
+    from repro.hqr.auto import auto_config, auto_config_tuned
+
+    if args.tuned:
+        cfg = auto_config_tuned(args.m, args.n, grid_p=args.grid_p, grid_q=args.grid_q)
+        how = "rules + model refinement"
+    else:
+        cfg = auto_config(args.m, args.n, grid_p=args.grid_p, grid_q=args.grid_q)
+        how = "paper-derived rules"
+    print(f"{args.m} x {args.n} tiles on a {args.grid_p} x {args.grid_q} grid "
+          f"({how}):")
+    print(f"  {cfg}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("factor", help="factor a random matrix numerically")
+    p.add_argument("--M", type=int, default=240)
+    p.add_argument("--N", type=int, default=120)
+    p.add_argument("--b", type=int, default=40)
+    p.add_argument("--threads", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0)
+    _add_config_args(p)
+    p.set_defaults(fn=cmd_factor)
+
+    p = sub.add_parser("simulate", help="simulate on the cluster model")
+    p.add_argument("--m", type=int, default=128, help="tile rows")
+    p.add_argument("--n", type=int, default=16, help="tile columns")
+    p.add_argument("--b", type=int, default=280)
+    p.add_argument("--nodes", type=int, default=60)
+    p.add_argument("--cores", type=int, default=8)
+    _add_config_args(p)
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("tables", help="print Tables I-IV")
+    p.add_argument("--m", type=int, default=12)
+    p.set_defaults(fn=cmd_tables)
+
+    p = sub.add_parser("levels", help="print Figure 5 level views")
+    p.add_argument("--m", type=int, default=24)
+    p.add_argument("--n", type=int, default=10)
+    p.add_argument("--p", type=int, default=3)
+    p.add_argument("--a", type=int, default=2)
+    p.set_defaults(fn=cmd_levels)
+
+    p = sub.add_parser("compare", help="compare the four algorithms")
+    p.add_argument("--m", type=int, default=128)
+    p.add_argument("--n", type=int, default=16)
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("explore", help="rank HQR configs with the model")
+    p.add_argument("--m", type=int, default=128)
+    p.add_argument("--n", type=int, default=16)
+    p.add_argument("--b", type=int, default=280)
+    p.add_argument("--top", type=int, default=5)
+    p.add_argument("--verify", action="store_true", help="simulate top picks")
+    p.set_defaults(fn=cmd_explore)
+
+    p = sub.add_parser("gantt", help="per-node utilization timeline")
+    p.add_argument("--m", type=int, default=64)
+    p.add_argument("--n", type=int, default=8)
+    p.add_argument("--width", type=int, default=72)
+    p.add_argument("--nodes", type=int, default=12, help="rows to display")
+    _add_config_args(p)
+    p.set_defaults(fn=cmd_gantt)
+
+    p = sub.add_parser("export", help="write an elimination list as JSON")
+    p.add_argument("--m", type=int, default=16)
+    p.add_argument("--n", type=int, default=4)
+    p.add_argument("--out", default="-")
+    _add_config_args(p)
+    p.set_defaults(fn=cmd_export)
+
+    p = sub.add_parser("replay", help="validate an elimination-list file")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_replay)
+
+    p = sub.add_parser("auto", help="pick a configuration automatically")
+    p.add_argument("--m", type=int, default=128)
+    p.add_argument("--n", type=int, default=16)
+    p.add_argument("--grid-p", type=int, default=15)
+    p.add_argument("--grid-q", type=int, default=4)
+    p.add_argument("--tuned", action="store_true", help="refine with the model")
+    p.set_defaults(fn=cmd_auto)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Public high-level API: factor matrices with any elimination tree."""
+
+from repro.core.api import qr, QRResult
+
+__all__ = ["qr", "QRResult"]

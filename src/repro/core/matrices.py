@@ -1,0 +1,73 @@
+"""Workload generators: structured test matrices for accuracy studies.
+
+QR's applications (least squares, orthogonalization, eigensolvers) feed it
+matrices far from i.i.d. Gaussian; these generators produce the standard
+stress cases used to compare the numerical behaviour of the different
+elimination trees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def gaussian(M: int, N: int, seed: int | None = None) -> np.ndarray:
+    """Well-conditioned dense baseline (i.i.d. standard normal)."""
+    return np.random.default_rng(seed).standard_normal((M, N))
+
+
+def graded(M: int, N: int, decades: float = 12.0, seed: int | None = None) -> np.ndarray:
+    """Columns scaled geometrically over ``decades`` orders of magnitude.
+
+    Exercises column-norm dynamics; Householder QR is norm-wise backward
+    stable regardless, which the accuracy study verifies per tree.
+    """
+    A = gaussian(M, N, seed)
+    return A * np.logspace(0, -decades, N)
+
+
+def ill_conditioned(
+    M: int, N: int, condition: float = 1e10, seed: int | None = None
+) -> np.ndarray:
+    """Matrix with prescribed 2-norm condition number (via SVD synthesis)."""
+    rng = np.random.default_rng(seed)
+    U = np.linalg.qr(rng.standard_normal((M, N)))[0]
+    V = np.linalg.qr(rng.standard_normal((N, N)))[0]
+    s = np.logspace(0, -np.log10(condition), N)
+    return (U * s) @ V.T
+
+
+def near_rank_deficient(
+    M: int, N: int, rank: int, noise: float = 1e-13, seed: int | None = None
+) -> np.ndarray:
+    """Rank-``rank`` matrix plus tiny noise — trailing R rows ~ noise."""
+    if not 0 < rank <= min(M, N):
+        raise ValueError(f"rank must be in (0, {min(M, N)}], got {rank}")
+    rng = np.random.default_rng(seed)
+    B = rng.standard_normal((M, rank)) @ rng.standard_normal((rank, N))
+    return B + noise * rng.standard_normal((M, N))
+
+
+def vandermonde(M: int, N: int, seed: int | None = None) -> np.ndarray:
+    """Vandermonde on random nodes in [0, 1] — classic least-squares input,
+    exponentially ill-conditioned in N."""
+    rng = np.random.default_rng(seed)
+    x = np.sort(rng.uniform(0, 1, M))
+    return np.vander(x, N, increasing=True)
+
+
+def kahan(N: int, theta: float = 1.2) -> np.ndarray:
+    """The Kahan matrix — upper triangular, notoriously deceptive for
+    rank-revealing factorizations; square ``N x N``."""
+    c, s = np.cos(theta), np.sin(theta)
+    T = np.triu(-c * np.ones((N, N)), 1) + np.eye(N)
+    scale = s ** np.arange(N)
+    return (T.T * scale).T
+
+
+GENERATORS = {
+    "gaussian": gaussian,
+    "graded": graded,
+    "ill_conditioned": ill_conditioned,
+    "vandermonde": vandermonde,
+}

@@ -1,0 +1,28 @@
+"""Task-graph layer: from an elimination list to a kernel-level DAG.
+
+The paper's DAGuE implementation consumes "a function that computes the
+elimination list" and derives every kernel task and data movement from it
+(§IV-C).  This package is the equivalent: :class:`TaskGraph` expands an
+elimination list into GEQRT/UNMQR/TSQRT/TSMQR/TTQRT/TTMQR task instances,
+infers the dataflow dependencies from tile access order, and offers the
+standard DAG analyses (critical path, parallelism profile, weight
+invariants).
+"""
+
+from repro.dag.tasks import Task
+from repro.dag.graph import TaskGraph
+from repro.dag.analysis import (
+    critical_path_weight,
+    parallelism_profile,
+    total_weight,
+    theoretical_total_weight,
+)
+
+__all__ = [
+    "Task",
+    "TaskGraph",
+    "critical_path_weight",
+    "parallelism_profile",
+    "total_weight",
+    "theoretical_total_weight",
+]

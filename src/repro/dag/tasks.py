@@ -1,0 +1,72 @@
+"""Kernel task instances.
+
+A :class:`Task` is one kernel call on specific tiles.  The fields mirror the
+kernel signatures of Algorithm 2:
+
+* ``GEQRT(row, panel)`` — factor tile ``(row, panel)``;
+* ``UNMQR(row, panel, col)`` — apply it to tile ``(row, col)``;
+* ``TSQRT/TTQRT(victim, killer, panel)`` — kill tile ``(victim, panel)``
+  with tile ``(killer, panel)``;
+* ``TSMQR/TTMQR(victim, killer, panel, col)`` — apply the kill to tiles
+  ``(killer, col)`` and ``(victim, col)``.
+
+Tasks are deliberately lightweight (slots, integer fields) — graphs reach
+millions of tasks for the paper's largest matrices.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.weights import WEIGHTS, KernelKind
+
+
+class Task:
+    """One kernel instance in the task graph."""
+
+    __slots__ = ("id", "kind", "row", "killer", "panel", "col")
+
+    def __init__(
+        self,
+        id: int,
+        kind: KernelKind,
+        row: int,
+        panel: int,
+        killer: int = -1,
+        col: int = -1,
+    ):
+        self.id = id
+        self.kind = kind
+        self.row = row  # victim row for kills/updates, target row for GEQRT/UNMQR
+        self.killer = killer  # killer row (kills/pair-updates only)
+        self.panel = panel
+        self.col = col  # trailing column (update kernels only)
+
+    @property
+    def weight(self) -> int:
+        """Cost in ``b^3/3`` flop units (paper §II)."""
+        return WEIGHTS[self.kind]
+
+    def tiles(self) -> tuple[tuple[int, int], ...]:
+        """Tiles this task modifies, in (row, col) tile coordinates."""
+        k = self.kind
+        if k is KernelKind.GEQRT:
+            return ((self.row, self.panel),)
+        if k is KernelKind.UNMQR:
+            return ((self.row, self.col),)
+        if k in (KernelKind.TSQRT, KernelKind.TTQRT):
+            return ((self.killer, self.panel), (self.row, self.panel))
+        # TSMQR / TTMQR
+        return ((self.killer, self.col), (self.row, self.col))
+
+    def key(self) -> tuple:
+        """Stable identity independent of task id (for test comparisons)."""
+        return (self.kind.value, self.row, self.killer, self.panel, self.col)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        k = self.kind
+        if k is KernelKind.GEQRT:
+            return f"GEQRT({self.row},{self.panel})"
+        if k is KernelKind.UNMQR:
+            return f"UNMQR({self.row},{self.panel},{self.col})"
+        if k in (KernelKind.TSQRT, KernelKind.TTQRT):
+            return f"{k.value}({self.row}<-{self.killer},{self.panel})"
+        return f"{k.value}({self.row}<-{self.killer},{self.panel},{self.col})"

@@ -1,0 +1,74 @@
+"""Automatic HQR configuration selection.
+
+The §V-B/§V-C findings condensed into a decision procedure (the "auto"
+setting of a production tree library):
+
+* the **high-level tree** trades inter-node messages against the depth of
+  the final reduction: FLATTREE once trailing-column parallelism is
+  abundant (square-ish), FIBONACCI when the panel reduction is on the
+  critical path (tall and skinny);
+* the **low-level tree** follows the local matrix shape: GREEDY for many
+  local rows per node, FLATTREE is never better, so GREEDY/FIBONACCI
+  throughout;
+* **``a``** grows with the abundance of parallelism: 1 while the matrix is
+  small (parallelism-starved), 4 once each node has plenty of rows;
+* the **domino** decouples the local pipeline on tall-and-skinny matrices
+  and hurts large square ones.
+
+``auto_config`` applies those rules; ``auto_config_tuned`` refines the
+choice with the analytic model over a small neighbourhood.
+"""
+
+from __future__ import annotations
+
+from repro.hqr.config import HQRConfig
+
+
+def auto_config(
+    m: int, n: int, *, grid_p: int, grid_q: int, cores_per_node: int = 8
+) -> HQRConfig:
+    """Rule-based configuration for an ``m x n`` tile matrix."""
+    if m <= 0 or n <= 0:
+        raise ValueError(f"tile counts must be positive, got m={m}, n={n}")
+    local_rows = -(-m // grid_p)
+    tall = m >= 4 * n
+    # TS domains: enough local rows to keep cores fed after the /a cut
+    if local_rows >= 4 * max(4, cores_per_node // 2):
+        a = 4
+    elif local_rows >= 8:
+        a = 2
+    else:
+        a = 1
+    low = "greedy"
+    high = "fibonacci" if tall else "flat"
+    domino = tall
+    return HQRConfig(
+        p=grid_p, q=grid_q, a=a, low_tree=low, high_tree=high, domino=domino
+    )
+
+
+def auto_config_tuned(
+    m: int,
+    n: int,
+    *,
+    grid_p: int,
+    grid_q: int,
+    machine=None,
+    layout=None,
+    b: int = 280,
+) -> HQRConfig:
+    """Rule-based pick refined by the analytic model over its neighbours."""
+    from repro.models.explorer import ConfigExplorer
+    from repro.runtime.machine import Machine
+    from repro.tiles.layout import BlockCyclic2D
+
+    base = auto_config(m, n, grid_p=grid_p, grid_q=grid_q)
+    machine = machine if machine is not None else Machine.edel()
+    layout = layout if layout is not None else BlockCyclic2D(grid_p, grid_q)
+    explorer = ConfigExplorer(m, n, machine, layout, b, grid_p=grid_p, grid_q=grid_q)
+    neighbours = [base]
+    for a in {max(1, base.a // 2), base.a, min(base.a * 2, 8)}:
+        for domino in (True, False):
+            neighbours.append(base.with_(a=a, domino=domino))
+    ranked = explorer.rank(list(dict.fromkeys(neighbours)))
+    return ranked[0].config

@@ -1,0 +1,95 @@
+"""HQR parameter set (§IV-A).
+
+Every published tiled-QR algorithm the paper discusses is a point in this
+parameter space — see the classmethod constructors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.trees.base import PanelTree
+from repro.trees.factory import make_tree
+
+
+@dataclass(frozen=True)
+class HQRConfig:
+    """Parameters of the hierarchical QR elimination tree.
+
+    Parameters
+    ----------
+    p, q:
+        Virtual cluster grid.  ``p`` shapes the reduction trees (rows are
+        assigned to clusters cyclically); ``q`` only affects data placement
+        of trailing columns.
+    a:
+        Domain size of the TS level.  ``a = 1`` disables TS kernels
+        entirely; ``a >= ceil(m / p)`` makes each cluster a single flat TS
+        domain ("full TS on the node").
+    low_tree, high_tree:
+        Intra-cluster (level 1) and inter-cluster (level 3) reduction trees:
+        one of ``"flat"``, ``"binary"``, ``"greedy"``, ``"fibonacci"``.
+    domino:
+        Activate the coupling level (level 2).  When off, the low-level tree
+        reduces everything from the cluster's top tile downward.
+    """
+
+    p: int = 1
+    q: int = 1
+    a: int = 1
+    low_tree: str = "greedy"
+    high_tree: str = "fibonacci"
+    domino: bool = True
+
+    def __post_init__(self) -> None:
+        if self.p <= 0 or self.q <= 0:
+            raise ValueError(f"grid dims must be positive, got p={self.p}, q={self.q}")
+        if self.a <= 0:
+            raise ValueError(f"domain size must be positive, got a={self.a}")
+        # fail fast on unknown tree names
+        make_tree(self.low_tree)
+        make_tree(self.high_tree)
+
+    @property
+    def low(self) -> PanelTree:
+        """Instantiated low-level tree."""
+        return make_tree(self.low_tree)
+
+    @property
+    def high(self) -> PanelTree:
+        """Instantiated high-level tree."""
+        return make_tree(self.high_tree)
+
+    def with_(self, **kwargs) -> "HQRConfig":
+        """Copy with some fields replaced."""
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Named configurations from the literature (§IV-A)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def bbd10(cls) -> "HQRConfig":
+        """[BBD+10]: plain flat-tree tile QR, distribution-oblivious.
+
+        One global flat tree per panel (single cluster, single domain no
+        larger than anything): ``p=1, a=m`` is realized by passing a large
+        ``a``; use :func:`repro.baselines.bbd10.bbd10_elimination_list`
+        for the exact construction.
+        """
+        return cls(p=1, q=1, a=10**9, low_tree="flat", high_tree="flat", domino=False)
+
+    @classmethod
+    def slhd10(cls, r: int, m: int) -> "HQRConfig":
+        """[SLHD10] on ``r`` nodes, exactly as §IV-A prescribes: virtual grid
+        ``p=1``, domains of size ``a = ceil(m/r)`` (one full-TS flat domain
+        per node), low-level binary tree across the domain leaders, data
+        distribution ``CYCLIC(a)``.  With ``p=1`` the coupling and high
+        levels are inactive."""
+        return cls(p=1, q=1, a=-(-m // r), low_tree="binary", high_tree="flat", domino=False)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        dom = "domino" if self.domino else "no-domino"
+        return (
+            f"HQR(p={self.p}, q={self.q}, a={self.a}, low={self.low_tree}, "
+            f"high={self.high_tree}, {dom})"
+        )

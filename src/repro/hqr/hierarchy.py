@@ -1,0 +1,126 @@
+"""HQR elimination-list construction (§IV-B).
+
+For every panel ``k`` and every virtual cluster ``r`` (rows ``i ≡ r mod p``):
+
+1. **TS level** — within each fixed domain of ``a`` local rows, the acting
+   leader (first participant of the domain) TS-kills the participants below
+   it, top-down.
+2. **Low level** — the chosen TT tree reduces the acting domain leaders to
+   the reduction base (the local-diagonal row with domino on, the top tile
+   with domino off).
+3. **Coupling level** — with domino on, the cluster's top tile TT-kills the
+   level-2 rows between itself and the local diagonal, top-down; the local
+   reduction's survivor dies last.  The resulting chain of dependencies on
+   the previous panel's high-level eliminations is the "domino ripple".
+4. **High level** — the chosen TT tree reduces the ``p`` top tiles (rows
+   ``k .. k+p-1``) across clusters down to the diagonal row ``k``.
+
+The list is emitted panel-major with levels ordered 0,1,2,3 inside a panel,
+which is always a valid sequential order (killers die only after their last
+kill; rows are zeroed in column order).
+"""
+
+from __future__ import annotations
+
+from repro.hqr.config import HQRConfig
+from repro.hqr.levels import top_local_row
+from repro.trees.base import Elimination, PanelTree
+
+
+class HQRTree:
+    """The hierarchical elimination tree for an ``m x n`` tile matrix.
+
+    Provides the full :meth:`elimination_list`, the per-panel breakdown
+    (:meth:`panel_eliminations`), and the paper's ``killer(i, k)`` oracle.
+    """
+
+    def __init__(self, m: int, n: int, config: HQRConfig):
+        if m <= 0 or n <= 0:
+            raise ValueError(f"tile counts must be positive, got m={m}, n={n}")
+        self.m = m
+        self.n = n
+        self.config = config
+        self._low: PanelTree = config.low
+        self._high: PanelTree = config.high
+        self._panels = min(n, m - 1)
+        self._cache: dict[int, list[Elimination]] = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def panels(self) -> int:
+        """Number of panels with at least one elimination."""
+        return self._panels
+
+    def panel_eliminations(self, k: int) -> list[Elimination]:
+        """Ordered eliminations of panel ``k`` (levels 0, 1, 2, 3)."""
+        if not 0 <= k < self._panels:
+            raise ValueError(f"panel {k} out of range [0, {self._panels})")
+        if k not in self._cache:
+            self._cache[k] = self._build_panel(k)
+        return self._cache[k]
+
+    def elimination_list(self) -> list[Elimination]:
+        """The full panel-major elimination list."""
+        out: list[Elimination] = []
+        for k in range(self._panels):
+            out.extend(self.panel_eliminations(k))
+        return out
+
+    def killer(self, i: int, k: int) -> int:
+        """The paper's ``killer(i, k)`` oracle for tile ``(i, k)``, ``i > k``."""
+        if not (0 <= k < self.n and k < i < self.m):
+            raise ValueError(f"need k < i, 0 <= k < n, i < m; got i={i}, k={k}")
+        for e in self.panel_eliminations(k):
+            if e.victim == i:
+                return e.killer
+        raise AssertionError(f"tile ({i}, {k}) never eliminated")  # pragma: no cover
+
+    # ------------------------------------------------------------------ #
+    def _build_panel(self, k: int) -> list[Elimination]:
+        p, a, domino = self.config.p, self.config.a, self.config.domino
+        m = self.m
+        level0: list[Elimination] = []
+        level1: list[Elimination] = []
+        level2: list[Elimination] = []
+        top_rows: list[int] = []
+        for r in range(p):
+            ltop = top_local_row(k, r, p)
+            if ltop * p + r >= m:
+                continue  # cluster has no rows on/below the diagonal
+            top_rows.append(ltop * p + r)
+            lmax = (m - 1 - r) // p
+            base = min(k, lmax) if domino else ltop
+            # --- level 0: TS domains over participants [base, lmax] ----- #
+            leaders: list[int] = []
+            for d in range(base // a, lmax // a + 1):
+                start = max(base, d * a)
+                end = min(lmax, d * a + a - 1)
+                if start > end:
+                    continue  # domain entirely above the reduction base
+                leaders.append(start)
+                killer = start * p + r
+                for loc in range(start + 1, end + 1):
+                    level0.append(
+                        Elimination(panel=k, victim=loc * p + r, killer=killer, ts=True)
+                    )
+            # --- level 1: low tree over the acting leaders -------------- #
+            for victim, killer in self._low.eliminations([loc * p + r for loc in leaders]):
+                level1.append(Elimination(panel=k, victim=victim, killer=killer))
+            # --- level 2: domino, top tile kills (ltop, base] ------------ #
+            if domino:
+                killer = ltop * p + r
+                for loc in range(ltop + 1, base + 1):
+                    level2.append(
+                        Elimination(panel=k, victim=loc * p + r, killer=killer)
+                    )
+        # --- level 3: high tree over the top tiles ----------------------- #
+        level3 = [
+            Elimination(panel=k, victim=victim, killer=killer)
+            for victim, killer in self._high.eliminations(sorted(top_rows))
+        ]
+        return level0 + level1 + level2 + level3
+
+
+def hqr_elimination_list(m: int, n: int, config: HQRConfig) -> list[Elimination]:
+    """Convenience: the full HQR elimination list for an ``m x n`` tile matrix."""
+    return HQRTree(m, n, config).elimination_list()

@@ -1,0 +1,77 @@
+"""Tile level classification (§IV-B, Figure 5).
+
+For a panel ``k`` and a tile row ``i`` (``i >= k``), with ``r = i mod p`` the
+row's virtual cluster and ``L = i div p`` its local row index:
+
+* the cluster's *top* tile is its first local row on/below the matrix
+  diagonal, ``L_top = ceil((k - r) / p)``; the ``p`` top tiles sit on the
+  first ``p`` diagonals and form **level 3** (inter-cluster tree);
+* the *local diagonal* is local row ``k`` (slope 1 in the local view, slope
+  ``p`` in the global view); tiles strictly between the top tile and the
+  local diagonal (inclusive) are **level 2** ("domino" tiles);
+* below the local diagonal, domain leaders (every ``a``-th local row) are
+  **level 1** and the remaining tiles are **level 0** (TS victims).
+"""
+
+from __future__ import annotations
+
+
+def _ceil_div(x: int, y: int) -> int:
+    return -(-x // y)
+
+
+def top_local_row(k: int, r: int, p: int) -> int:
+    """Local index of cluster ``r``'s top tile for panel ``k``."""
+    return _ceil_div(k - r, p) if k > r else 0
+
+
+def tile_level(i: int, k: int, m: int, p: int, a: int, *, domino: bool = True) -> int:
+    """Level (0-3) of tile ``(i, k)``, for ``k <= i < m``.
+
+    With ``domino=False`` the coupling level does not exist and would-be
+    level-2 tiles are classified as level 1 (they join the low-level tree).
+    """
+    if not 0 <= k <= i < m:
+        raise ValueError(f"need 0 <= k <= i < m, got i={i}, k={k}, m={m}")
+    r, L = i % p, i // p
+    ltop = top_local_row(k, r, p)
+    lmax = (m - 1 - r) // p
+    if L == ltop:
+        return 3
+    if domino:
+        local_diag = min(k, lmax)
+        if L <= local_diag:
+            return 2
+        base = local_diag
+    else:
+        base = ltop
+    leader = max(base, (L // a) * a)
+    return 1 if L == leader else 0
+
+
+def level_grid(m: int, n: int, p: int, a: int, *, domino: bool = True) -> list[list[int | None]]:
+    """Levels of every on/below-diagonal tile; ``None`` above the diagonal.
+
+    ``grid[i][k]`` reproduces the labels of Figure 5(a) (global view).
+    """
+    grid: list[list[int | None]] = [[None] * n for _ in range(m)]
+    for k in range(min(m, n)):
+        for i in range(k, m):
+            grid[i][k] = tile_level(i, k, m, p, a, domino=domino)
+    return grid
+
+
+def local_view(
+    grid: list[list[int | None]], p: int, r: int
+) -> list[list[int | None]]:
+    """Rows of cluster ``r`` stacked in local order — Figure 5(b)."""
+    m = len(grid)
+    return [grid[i] for i in range(r, m, p)]
+
+
+def format_level_grid(grid: list[list[int | None]]) -> str:
+    """ASCII rendering of a level grid (``.`` above the diagonal)."""
+    lines = []
+    for row in grid:
+        lines.append(" ".join("." if v is None else str(v) for v in row))
+    return "\n".join(lines)

@@ -1,0 +1,169 @@
+"""Generalized multi-level hierarchical reduction trees.
+
+HQR's fixed four-level hierarchy targets "clusters of multicores".  The
+paper's own related work already hints at deeper hardware: [3] (Agullo et
+al.) reduces across *grids of clusters* of nodes, and §VI anticipates more
+heterogeneity.  :class:`MultilevelTree` generalizes the construction to an
+arbitrary stack of hierarchy levels:
+
+* the machine is described outside-in as ``Level(arity, tree)`` entries —
+  e.g. ``[Level(2, "binary"), Level(15, "fibonacci"), Level(4, "greedy")]``
+  for 2 sites x 15 nodes x 4 sockets;
+* tile rows are assigned to the leaves cyclically, level by level (the
+  2-D-cyclic convention of HQR applied recursively), so the row's path
+  through the hierarchy is its mixed-radix expansion;
+* within a leaf, an optional TS domain level (size ``a``) applies first;
+* each level's tree then reduces the survivors of the level below, with
+  the survivor sets chosen exactly like HQR's top tiles (the first rows on
+  or below the diagonal of each subgroup).
+
+With a single entry this degenerates to HQR without domino; the classic
+HQR is ``[Level(p, high_tree)]`` + the intra-node machinery.  The domino
+coupling level is an HQR-specific pipelining optimization and is not
+replicated at inner levels here (each level reduces fully before handing
+its survivor up), which keeps the construction valid for any stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trees.base import Elimination, PanelTree
+from repro.trees.factory import make_tree
+
+
+@dataclass(frozen=True)
+class Level:
+    """One hierarchy level: ``arity`` groups reduced with ``tree``."""
+
+    arity: int
+    tree: str = "binary"
+
+    def __post_init__(self) -> None:
+        if self.arity <= 0:
+            raise ValueError(f"arity must be positive, got {self.arity}")
+        make_tree(self.tree)  # fail fast
+
+
+class MultilevelTree:
+    """Hierarchical elimination tree over an arbitrary level stack.
+
+    Parameters
+    ----------
+    m, n:
+        Tile counts.
+    levels:
+        Hierarchy outside-in; the product of arities is the leaf count
+        (analogue of HQR's ``p``).
+    a:
+        TS domain size within each leaf (``1`` disables TS kernels).
+    leaf_tree:
+        Tree reducing the domain leaders inside a leaf (HQR's low level).
+    """
+
+    def __init__(
+        self,
+        m: int,
+        n: int,
+        levels: list[Level],
+        *,
+        a: int = 1,
+        leaf_tree: str = "greedy",
+    ):
+        if m <= 0 or n <= 0:
+            raise ValueError(f"tile counts must be positive, got m={m}, n={n}")
+        if not levels:
+            raise ValueError("need at least one hierarchy level")
+        if a <= 0:
+            raise ValueError(f"domain size must be positive, got a={a}")
+        self.m = m
+        self.n = n
+        self.levels = list(levels)
+        self.a = a
+        self._leaf_tree: PanelTree = make_tree(leaf_tree)
+        self._level_trees: list[PanelTree] = [make_tree(lv.tree) for lv in levels]
+        self.leaves = 1
+        for lv in levels:
+            self.leaves *= lv.arity
+        self._panels = min(n, m - 1)
+
+    # ------------------------------------------------------------------ #
+    def leaf_of(self, row: int) -> int:
+        """Leaf index of a tile row (cyclic assignment)."""
+        return row % self.leaves
+
+    def group_path(self, leaf: int) -> tuple[int, ...]:
+        """Mixed-radix path of a leaf through the levels, outside-in.
+
+        Big-endian: the outermost level owns the most significant digit, so
+        leaves of one innermost group are *contiguous* — with an identity
+        leaf-to-node mapping and contiguous machine sites, the inner
+        reductions stay inside a site and only the outer levels cross the
+        slow links.
+        """
+        path = []
+        rem = leaf
+        stride = self.leaves
+        for lv in self.levels:
+            stride //= lv.arity
+            path.append(rem // stride)
+            rem %= stride
+        return tuple(path)
+
+    @property
+    def panels(self) -> int:
+        """Number of panels with at least one elimination."""
+        return self._panels
+
+    # ------------------------------------------------------------------ #
+    def panel_eliminations(self, k: int) -> list[Elimination]:
+        """Ordered eliminations of panel ``k``, leaf level first."""
+        if not 0 <= k < self._panels:
+            raise ValueError(f"panel {k} out of range [0, {self._panels})")
+        elims: list[Elimination] = []
+        # --- leaf level: TS domains + leaf tree, like HQR's levels 0-1 --- #
+        survivors: dict[int, int] = {}  # leaf -> surviving row
+        for leaf in range(self.leaves):
+            rows = [i for i in range(k, self.m) if i % self.leaves == leaf]
+            if not rows:
+                continue
+            leaders: list[int] = []
+            for d0 in range(0, len(rows), self.a):
+                domain = rows[d0 : d0 + self.a]
+                leaders.append(domain[0])
+                for victim in domain[1:]:
+                    elims.append(
+                        Elimination(panel=k, victim=victim, killer=domain[0], ts=True)
+                    )
+            for victim, killer in self._leaf_tree.eliminations(leaders):
+                elims.append(Elimination(panel=k, victim=victim, killer=killer))
+            survivors[leaf] = leaders[0]
+        # --- hierarchy levels, inside-out ----------------------------- #
+        # group leaves by their path prefix; the innermost level reduces
+        # groups of consecutive siblings first
+        groups: dict[tuple[int, ...], list[int]] = {}
+        for leaf, row in survivors.items():
+            path = self.group_path(leaf)
+            groups.setdefault(path, [row])
+        current = {path: rows[0] for path, rows in groups.items()}
+        for depth in range(len(self.levels) - 1, -1, -1):
+            tree = self._level_trees[depth]
+            merged: dict[tuple[int, ...], list[int]] = {}
+            for path, row in current.items():
+                parent = path[:depth] + path[depth + 1 :]
+                merged.setdefault(parent, []).append(row)
+            nxt: dict[tuple[int, ...], int] = {}
+            for parent, rows in merged.items():
+                rows.sort()
+                for victim, killer in tree.eliminations(rows):
+                    elims.append(Elimination(panel=k, victim=victim, killer=killer))
+                nxt[parent] = rows[0]
+            current = nxt
+        return elims
+
+    def elimination_list(self) -> list[Elimination]:
+        """Full panel-major elimination list."""
+        out: list[Elimination] = []
+        for k in range(self._panels):
+            out.extend(self.panel_eliminations(k))
+        return out

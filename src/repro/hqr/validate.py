@@ -1,0 +1,65 @@
+"""Elimination-list validity checker (§II).
+
+An elimination list is valid when, replayed in order:
+
+1. *Readiness* — for ``elim(i, j, k)``, both rows ``i`` and ``j`` have had
+   all their tiles left of the panel zeroed already (their column-``k-1``
+   eliminations precede this one in the list);
+2. *Potential annihilator* — tile ``(j, k)`` has not been zeroed yet (row
+   ``j``'s own column-``k`` elimination follows this one);
+3. every tile ``(i, k)`` with ``k < i``, ``k < min(m, n)`` is zeroed exactly
+   once;
+4. TS kills hit square tiles only (TT kills auto-triangularize via GEQRT,
+   per Algorithm 2).
+
+Used by the test-suite (including the hypothesis fuzzers) against every tree
+combination, and available to users composing custom elimination lists.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.tiles.state import PanelStateTracker
+from repro.trees.base import Elimination
+
+
+class ValidationError(ValueError):
+    """An elimination list violates the §II validity conditions."""
+
+
+def check_elimination_list(elims: Sequence[Elimination], m: int, n: int) -> None:
+    """Raise :class:`ValidationError` unless ``elims`` is a valid tiled QR
+    elimination list for an ``m x n`` tile matrix."""
+    panels = min(n, m - 1)
+    trackers = {k: PanelStateTracker(list(range(k, m))) for k in range(panels)}
+    zeroed: set[tuple[int, int]] = set()  # (row, panel) pairs already killed
+    for pos, e in enumerate(elims):
+        if e.panel >= panels or e.victim >= m or e.killer >= m:
+            raise ValidationError(f"entry {pos}: {e} out of bounds for {m}x{n} tiles")
+        if e.panel > 0:
+            for row in (e.victim, e.killer):
+                # row `panel` is the (k-1)-panel survivor and is never zeroed
+                if row != e.panel - 1 and (row, e.panel - 1) not in zeroed:
+                    raise ValidationError(
+                        f"entry {pos}: {e} — row {row} not yet zeroed in panel "
+                        f"{e.panel - 1} (condition 1)"
+                    )
+        try:
+            trackers[e.panel].kill(e.victim, e.killer, ts=e.ts)
+        except ValueError as err:
+            raise ValidationError(f"entry {pos}: {e} — {err}") from err
+        zeroed.add((e.victim, e.panel))
+    for k in range(panels):
+        leftover = [i for i in trackers[k].remaining() if i != k]
+        if leftover:
+            raise ValidationError(
+                f"panel {k}: rows {leftover} were never zeroed (condition 3)"
+            )
+        if k not in [r for r in trackers[k].state]:  # pragma: no cover - paranoia
+            raise ValidationError(f"panel {k}: diagonal row missing")
+        # The survivor must be the diagonal row itself.
+        if trackers[k].remaining() != [k]:
+            raise ValidationError(
+                f"panel {k}: survivor is {trackers[k].remaining()}, expected [{k}]"
+            )

@@ -1,0 +1,48 @@
+"""GEQRT: factor one tile, turning a square into a triangle.
+
+Weight 4 (in ``b^3/3`` flop units).  This is the kernel that promotes a tile
+to *killer* status (§II: "we transform a square into a triangle using the
+GEQRT kernel").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.householder import BlockReflector, larfg, update_t
+
+
+def geqrt(A: np.ndarray) -> BlockReflector:
+    """QR-factor tile ``A`` in place.
+
+    On exit the upper trapezoid of ``A`` holds ``R`` and the strictly lower
+    part is zeroed (the Householder vectors are returned explicitly in the
+    reflector rather than packed into ``A``, unlike LAPACK — clearer, and the
+    storage duplication is irrelevant for a simulator).
+
+    Parameters
+    ----------
+    A:
+        ``(rows, cols)`` tile, modified in place.
+
+    Returns
+    -------
+    BlockReflector
+        ``Q = I - V T V^T`` with ``A_in = Q @ A_out``.
+    """
+    if A.ndim != 2 or A.size == 0:
+        raise ValueError(f"geqrt expects a non-empty 2-D tile, got shape {A.shape}")
+    rows, cols = A.shape
+    k = min(rows, cols)
+    V = np.zeros((rows, k))
+    T = np.zeros((k, k))
+    for j in range(k):
+        v, tau, beta = larfg(A[j:, j])
+        A[j, j] = beta
+        A[j + 1 :, j] = 0.0
+        V[j:, j] = v
+        if j + 1 < cols and tau != 0.0:
+            w = v @ A[j:, j + 1 :]
+            A[j:, j + 1 :] -= tau * np.outer(v, w)
+        update_t(T, V, j, tau)
+    return BlockReflector(V=V, T=T)

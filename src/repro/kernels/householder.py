@@ -1,0 +1,136 @@
+"""Householder reflector primitives (LAPACK ``dlarfg``/``dlarft`` analogues).
+
+A single reflector is ``H = I - tau * v v^T`` with ``v[0] = 1``.  A sequence
+of ``k`` reflectors is accumulated in compact-WY form::
+
+    H_0 H_1 ... H_{k-1}  =  I - V T V^T
+
+where ``V`` stores the ``v`` vectors column-wise (unit diagonal) and ``T`` is
+``k x k`` upper triangular, built with the forward column-by-column
+recurrence of LAPACK ``dlarft``::
+
+    T[:j, j] = -tau_j * T[:j, :j] @ (V[:, :j]^T @ V[:, j])
+    T[j, j]  = tau_j
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def larfg(x: np.ndarray) -> tuple[np.ndarray, float, float]:
+    """Generate an elementary Householder reflector.
+
+    Given a vector ``x`` of length >= 1, returns ``(v, tau, beta)`` such that
+    ``(I - tau v v^T) x = beta e_1`` with ``v[0] = 1``.
+
+    Follows the LAPACK convention: ``beta = -sign(x[0]) * ||x||`` (so the
+    produced ``R`` diagonal signs match LAPACK, not numpy's ``linalg.qr``).
+    A zero tail yields ``tau = 0`` (identity transformation).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1 or x.size == 0:
+        raise ValueError("larfg expects a non-empty 1-D vector")
+    alpha = float(x[0])
+    v = np.zeros_like(x)
+    v[0] = 1.0
+    if x.size == 1:
+        return v, 0.0, alpha
+    tail_norm = float(np.linalg.norm(x[1:]))
+    if tail_norm == 0.0:
+        return v, 0.0, alpha
+    beta = -np.copysign(float(np.hypot(alpha, tail_norm)), alpha if alpha != 0 else 1.0)
+    tau = (beta - alpha) / beta
+    v[1:] = x[1:] / (alpha - beta)
+    return v, tau, beta
+
+
+def update_t(T: np.ndarray, V: np.ndarray, j: int, tau: float) -> None:
+    """Extend the compact-WY ``T`` factor with reflector ``j`` (in place)."""
+    if j > 0:
+        T[:j, j] = -tau * (T[:j, :j] @ (V[:, :j].T @ V[:, j]))
+    T[j, j] = tau
+
+
+@dataclass
+class BlockReflector:
+    """Compact-WY representation ``Q = I - V T V^T`` of a GEQRT factorization.
+
+    ``V`` is ``(rows, k)`` unit-lower trapezoidal; ``T`` is ``(k, k)`` upper
+    triangular.  ``Q`` acts on the ``rows``-dimensional space of one tile.
+    """
+
+    V: np.ndarray
+    T: np.ndarray
+
+    @property
+    def k(self) -> int:
+        """Number of reflectors."""
+        return self.T.shape[0]
+
+    def apply(self, C: np.ndarray, *, trans: bool = True) -> None:
+        """Apply ``Q^T`` (``trans=True``) or ``Q`` to ``C`` in place.
+
+        ``Q^T C = C - V T^T V^T C`` and ``Q C = C - V T V^T C``.
+        """
+        if C.shape[0] != self.V.shape[0]:
+            raise ValueError(
+                f"C has {C.shape[0]} rows, reflector acts on {self.V.shape[0]}"
+            )
+        W = self.V.T @ C
+        W = (self.T.T if trans else self.T) @ W
+        C -= self.V @ W
+
+
+@dataclass
+class StackedReflector:
+    """Reflector of a TSQRT/TTQRT factorization of a stacked tile pair.
+
+    The implicit full ``V`` is ``[V1; V2]`` where ``V1 = [I_k; 0]`` spans the
+    top (killer) tile and ``V2`` spans the bottom (victim) tile.  ``V2`` is a
+    full ``(rows2, k)`` block for TS kernels and ``(k, k)`` upper triangular
+    for TT kernels; the update kernels exploit that structure.
+
+    ``triangular_v2`` records which case this is (TT when True).
+    """
+
+    V2: np.ndarray
+    T: np.ndarray
+    triangular_v2: bool
+
+    @property
+    def k(self) -> int:
+        """Number of reflectors (= panel width)."""
+        return self.T.shape[0]
+
+    def apply_pair(self, C1: np.ndarray, C2: np.ndarray, *, trans: bool = True) -> None:
+        """Apply ``Q^T`` (or ``Q``) to the stacked pair ``[C1; C2]`` in place.
+
+        Only the top ``k`` rows of ``C1`` are touched (the reflector support
+        in the killer tile), and — for TT reflectors — only the top ``k``
+        rows of ``C2``.
+        """
+        k = self.k
+        if C1.shape[0] < k:
+            raise ValueError(f"C1 has {C1.shape[0]} rows, need at least k={k}")
+        if C1.shape[1] != C2.shape[1]:
+            raise ValueError("C1 and C2 must have the same number of columns")
+        if self.triangular_v2:
+            rows2 = self.V2.shape[0]  # may be < k for a clipped triangle
+            if C2.shape[0] < rows2:
+                raise ValueError(
+                    f"C2 has {C2.shape[0]} rows, reflector acts on {rows2}"
+                )
+            C2top = C2[:rows2, :]
+        else:
+            if C2.shape[0] != self.V2.shape[0]:
+                raise ValueError(
+                    f"C2 has {C2.shape[0]} rows, reflector acts on {self.V2.shape[0]}"
+                )
+            C2top = C2
+        W = C1[:k, :] + self.V2.T @ C2top
+        W = (self.T.T if trans else self.T) @ W
+        C1[:k, :] -= W
+        C2top -= self.V2 @ W

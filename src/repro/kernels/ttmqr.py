@@ -1,0 +1,25 @@
+"""TTMQR: apply a TTQRT transformation to a trailing tile pair.
+
+Weight 6 (in ``b^3/3`` flop units).  Exploits the upper-triangular structure
+of the TT reflector's ``V2`` — only the top ``k`` rows of the victim-row
+tile are touched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.householder import StackedReflector
+
+
+def ttmqr(
+    ref: StackedReflector, C1: np.ndarray, C2: np.ndarray, *, trans: bool = True
+) -> None:
+    """Apply a TTQRT's ``Q^T`` (default) or ``Q`` to tiles ``[C1; C2]``.
+
+    ``C1`` is the tile in the killer's row, ``C2`` the tile in the victim's
+    row (same trailing column).  Both are modified in place.
+    """
+    if not ref.triangular_v2:
+        raise ValueError("ttmqr requires a TT reflector (triangular V2); got a TS one")
+    ref.apply_pair(C1, C2, trans=trans)

@@ -1,0 +1,55 @@
+"""TTQRT: a triangle kills the *triangle* tile below it (Triangle-on-Triangle).
+
+Weight 2 (in ``b^3/3`` flop units) — cheap because both operands are already
+triangular.  TT kernels enable concurrent killers (§II): every reduction
+between two killer tiles (HQR levels 1, 2 and 3) uses TTQRT/TTMQR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.householder import StackedReflector, larfg, update_t
+
+
+def ttqrt(R1: np.ndarray, R2: np.ndarray) -> StackedReflector:
+    """Factor the stacked triangle pair ``[R1_top; R2_top]`` in place.
+
+    Both tiles hold an upper triangle in their top block (``k`` = column
+    count); a victim shorter than ``k`` rows (a ragged bottom edge tile)
+    holds a clipped, trapezoidal triangle and is handled transparently.
+    On exit ``R1``'s triangle holds the combined ``R`` and ``R2`` is zero.
+    The reflector's ``V2`` is unit upper triangular (trapezoidal when the
+    victim is short) — the structural sparsity TT kernels exploit.
+    """
+    if R1.ndim != 2 or R2.ndim != 2:
+        raise ValueError("ttqrt expects 2-D tiles")
+    k = R1.shape[1]
+    if R2.shape[1] != k:
+        raise ValueError(
+            f"column mismatch: killer has {k} columns, victim {R2.shape[1]}"
+        )
+    if R1.shape[0] < k:
+        raise ValueError(
+            f"killer tile needs >= {k} rows to hold a full triangle, got "
+            f"{R1.shape[0]}"
+        )
+    rows2 = min(R2.shape[0], k)
+    V2 = np.zeros((rows2, k))
+    T = np.zeros((k, k))
+    for j in range(k):
+        depth = min(j + 1, rows2)  # victim triangle clipped at its height
+        x = np.empty(depth + 1)
+        x[0] = R1[j, j]
+        x[1:] = R2[:depth, j]
+        v, tau, beta = larfg(x)
+        R1[j, j] = beta
+        v2 = v[1:]
+        V2[:depth, j] = v2
+        if j + 1 < k and tau != 0.0:
+            w = R1[j, j + 1 :] + v2 @ R2[:depth, j + 1 :]
+            R1[j, j + 1 :] -= tau * w
+            R2[:depth, j + 1 :] -= tau * np.outer(v2, w)
+        R2[:depth, j] = 0.0
+        update_t(T, V2, j, tau)
+    return StackedReflector(V2=V2, T=T, triangular_v2=True)

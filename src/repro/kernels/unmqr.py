@@ -1,0 +1,28 @@
+"""UNMQR: apply a GEQRT transformation to a trailing tile.
+
+Weight 6 (in ``b^3/3`` flop units).  For each elimination, the killer row's
+trailing tiles are updated with the ``Q^T`` of the killer's GEQRT.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.householder import BlockReflector
+
+
+def unmqr(ref: BlockReflector, C: np.ndarray, *, trans: bool = True) -> None:
+    """Apply ``Q^T`` (default) or ``Q`` from a GEQRT to tile ``C`` in place.
+
+    Parameters
+    ----------
+    ref:
+        Reflector returned by :func:`repro.kernels.geqrt`.
+    C:
+        ``(rows, any)`` tile with the same row count the reflector acts on.
+    trans:
+        ``True`` applies ``Q^T`` (factorization direction, the paper's
+        UNMQR); ``False`` applies ``Q`` (used when building the explicit
+        ``Q`` factor by applying the reverse trees to the identity, §V-A).
+    """
+    ref.apply(C, trans=trans)

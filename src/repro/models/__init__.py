@@ -1,0 +1,28 @@
+"""Analytic models: performance prediction, lower bounds, config exploration.
+
+The simulator replays a DAG event by event; these models predict without
+replaying — the "assess priorities / huge parameter space to explore"
+programme of §VI.  The explorer uses them to rank HQR configurations
+cheaply, and the test-suite checks the predictions bracket and correlate
+with the simulator.
+"""
+
+from repro.models.performance import PerformanceModel, Prediction
+from repro.models.bounds import (
+    critical_path_seconds,
+    work_seconds,
+    bandwidth_lower_bound_words,
+    makespan_lower_bound,
+)
+from repro.models.explorer import ConfigExplorer, RankedConfig
+
+__all__ = [
+    "PerformanceModel",
+    "Prediction",
+    "critical_path_seconds",
+    "work_seconds",
+    "bandwidth_lower_bound_words",
+    "makespan_lower_bound",
+    "ConfigExplorer",
+    "RankedConfig",
+]

@@ -1,0 +1,68 @@
+"""Scheduling and communication lower bounds.
+
+Three classical bounds apply to any execution of a tiled QR DAG:
+
+* **work bound** — total kernel seconds divided by the core count;
+* **critical-path bound** — the weighted longest path (infinite-resource
+  makespan);
+* **bandwidth bound** — communication-avoiding theory ([6], after
+  Irony-Toledo-Tiskin): a node performing ``F`` flops of matrix multiply-
+  like work with local memory ``W`` words must move at least
+  ``F / sqrt(8 W) - W`` words; with the usual balanced-work assumption the
+  per-node volume is ``Omega(#flops / (P sqrt(W)))``.
+
+The simulator's makespan must dominate the max of the first two (checked
+in the test-suite), and every algorithm's measured message volume must
+dominate the bandwidth bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.dag.graph import TaskGraph
+from repro.runtime.machine import Machine
+
+
+def work_seconds(graph: TaskGraph, machine: Machine, b: int) -> float:
+    """Total kernel execution time (single-core seconds)."""
+    return sum(machine.task_seconds(t.kind, b) for t in graph.tasks)
+
+
+def critical_path_seconds(graph: TaskGraph, machine: Machine, b: int) -> float:
+    """Weighted longest path with per-kernel rates (seconds)."""
+    dist = [0.0] * len(graph.tasks)
+    for t, task in enumerate(graph.tasks):
+        d = machine.task_seconds(task.kind, b)
+        best = 0.0
+        for p in graph.predecessors[t]:
+            if dist[p] > best:
+                best = dist[p]
+        dist[t] = best + d
+    return max(dist, default=0.0)
+
+
+def makespan_lower_bound(graph: TaskGraph, machine: Machine, b: int) -> float:
+    """max(work / cores, critical path) — no schedule can beat this."""
+    return max(
+        work_seconds(graph, machine, b) / machine.cores,
+        critical_path_seconds(graph, machine, b),
+    )
+
+
+def bandwidth_lower_bound_words(
+    M: int, N: int, nodes: int, memory_words: float | None = None
+) -> float:
+    """Per-node communication volume lower bound, in matrix words.
+
+    With balanced work ``F/P`` per node and local memory ``W`` (default:
+    the node's fair share ``2 M N / P``, the minimal memory setting), the
+    bound is ``F / (P sqrt(8 W))`` words per node ([6] §applying
+    Irony-Toledo-Tiskin to QR).  Returns 0 for a single node.
+    """
+    if nodes <= 1:
+        return 0.0
+    flops = 2.0 * M * N * N - 2.0 * N**3 / 3.0
+    if memory_words is None:
+        memory_words = 2.0 * M * N / nodes
+    return flops / (nodes * math.sqrt(8.0 * memory_words))

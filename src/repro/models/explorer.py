@@ -1,0 +1,92 @@
+"""HQR configuration exploration via the analytic performance model.
+
+§VI: "it is not clear how to account for the different architectural
+costs, and because of the huge parameter space to explore" — the explorer
+enumerates (a, low tree, high tree, domino) for a fixed shape/grid, ranks
+configurations with the cheap three-term model, and can verify the top
+candidates against the event simulator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.dag.graph import TaskGraph
+from repro.hqr.config import HQRConfig
+from repro.hqr.hierarchy import hqr_elimination_list
+from repro.models.performance import PerformanceModel, Prediction
+from repro.runtime.machine import Machine
+from repro.runtime.simulator import ClusterSimulator
+from repro.tiles.layout import Layout
+
+
+@dataclass(frozen=True)
+class RankedConfig:
+    """One explored configuration with its prediction."""
+
+    config: HQRConfig
+    prediction: Prediction
+
+    @property
+    def gflops(self) -> float:
+        return self.prediction.gflops
+
+
+class ConfigExplorer:
+    """Enumerate and rank HQR configurations for one problem."""
+
+    def __init__(
+        self,
+        m: int,
+        n: int,
+        machine: Machine,
+        layout: Layout,
+        b: int,
+        *,
+        grid_p: int,
+        grid_q: int,
+    ):
+        self.m = m
+        self.n = n
+        self.machine = machine
+        self.layout = layout
+        self.b = b
+        self.grid_p = grid_p
+        self.grid_q = grid_q
+        self._model = PerformanceModel(machine, layout, b)
+
+    def space(
+        self,
+        a_values=(1, 2, 4, 8),
+        trees=("flat", "binary", "greedy", "fibonacci"),
+        dominos=(True, False),
+    ):
+        """The configuration grid."""
+        for a, low, high, domino in itertools.product(a_values, trees, trees, dominos):
+            yield HQRConfig(
+                p=self.grid_p, q=self.grid_q, a=a,
+                low_tree=low, high_tree=high, domino=domino,
+            )
+
+    def rank(self, configs=None) -> list[RankedConfig]:
+        """Model-predicted ranking, best first."""
+        out = []
+        for cfg in configs if configs is not None else self.space():
+            graph = TaskGraph.from_eliminations(
+                hqr_elimination_list(self.m, self.n, cfg), self.m, self.n
+            )
+            out.append(RankedConfig(config=cfg, prediction=self._model.predict(graph)))
+        out.sort(key=lambda rc: -rc.gflops)
+        return out
+
+    def verify(self, ranked: list[RankedConfig], top: int = 3) -> list[tuple[RankedConfig, float]]:
+        """Simulate the ``top`` model picks; returns (pick, simulated GF/s)."""
+        sim = ClusterSimulator(self.machine, self.layout, self.b)
+        out = []
+        for rc in ranked[:top]:
+            graph = TaskGraph.from_eliminations(
+                hqr_elimination_list(self.m, self.n, rc.config), self.m, self.n
+            )
+            out.append((rc, sim.run(graph).gflops))
+        return out

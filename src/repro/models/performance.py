@@ -1,0 +1,98 @@
+"""Closed-ish-form performance prediction for an elimination-list algorithm.
+
+Predicts the makespan of a DAG on a machine as the max of three terms —
+throughput (work over cores, at the kernel-mix rate), weighted critical
+path, and per-node communication-channel occupancy — each computable in
+one linear pass, i.e. orders of magnitude faster than event simulation.
+
+This is deliberately an *optimistic* model (each term ignores the others'
+interference), so ``predicted <= simulated`` makespan always holds; across
+configurations the ranking correlates well with the simulator (tested),
+which is what a tuning search needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dag.graph import TaskGraph
+from repro.models.bounds import critical_path_seconds, work_seconds
+from repro.runtime.machine import Machine
+from repro.runtime.simulator import qr_flops
+from repro.tiles.layout import Layout
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Model output for one (algorithm, machine, layout) combination."""
+
+    work_term: float
+    cp_term: float
+    comm_term: float
+    flops: float
+
+    @property
+    def makespan(self) -> float:
+        """Predicted lower-envelope makespan (seconds)."""
+        return max(self.work_term, self.cp_term, self.comm_term)
+
+    @property
+    def gflops(self) -> float:
+        """Predicted performance."""
+        return self.flops / self.makespan / 1e9 if self.makespan > 0 else 0.0
+
+    @property
+    def binding(self) -> str:
+        """Which term limits performance: work / critical-path / comm."""
+        terms = {
+            "work": self.work_term,
+            "critical-path": self.cp_term,
+            "comm": self.comm_term,
+        }
+        return max(terms, key=terms.get)
+
+
+class PerformanceModel:
+    """Three-term makespan predictor."""
+
+    def __init__(self, machine: Machine, layout: Layout, b: int):
+        self.machine = machine
+        self.layout = layout
+        self.b = b
+
+    def predict(self, graph: TaskGraph, M: int | None = None, N: int | None = None) -> Prediction:
+        machine, b, layout = self.machine, self.b, self.layout
+        M = graph.m * b if M is None else M
+        N = graph.n * b if N is None else N
+        work = work_seconds(graph, machine, b)
+        cp = critical_path_seconds(graph, machine, b)
+        # per-node channel occupancy: count cross-node dependency edges per
+        # endpoint (dedup per producer/dest like the simulator), charge the
+        # bandwidth term to both endpoints, take the busiest channel
+        owner = layout.owner
+        node_of = []
+        for t in graph.tasks:
+            col = t.panel if t.col < 0 else t.col
+            node_of.append(owner(t.row, col))
+        load = [0] * machine.nodes
+        seen: set[tuple[int, int]] = set()
+        for t, succs in enumerate(graph.successors):
+            src = node_of[t]
+            for s in succs:
+                dst = node_of[s]
+                if dst != src and (t, dst) not in seen:
+                    seen.add((t, dst))
+                    load[src] += 1
+                    load[dst] += 1
+        bw_time = (
+            machine.tile_bytes(b) / machine.bandwidth
+            if machine.bandwidth != float("inf")
+            else 0.0
+        )
+        comm = max(load) * bw_time if machine.comm_serialized else 0.0
+        return Prediction(
+            work_term=work / machine.cores,
+            cp_term=cp,
+            comm_term=comm,
+            flops=qr_flops(M, N),
+        )

@@ -1,0 +1,182 @@
+"""Numeric executors: run a task graph's kernels on a real tiled matrix.
+
+``SequentialExecutor`` walks tasks in program order (which is topological).
+``ThreadedExecutor`` runs them with a dependency-driven worker pool — the
+shared-memory analogue of DAGuE's node-level scheduler — and must produce
+bit-for-bit the same factorization, since the kernels executed and their
+pairwise data dependencies are identical.
+
+Both record the reflectors produced by factorization kernels so that the
+explicit ``Q`` can be built afterwards ("applying the reverse trees to the
+identity", §V-A).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+import numpy as np
+
+from repro.dag.graph import TaskGraph
+from repro.dag.tasks import Task
+from repro.kernels import geqrt, tsmqr, tsqrt, ttmqr, ttqrt, unmqr
+from repro.kernels.weights import KernelKind
+from repro.tiles.matrix import TiledMatrix
+
+
+class _KernelRunner:
+    """Shared kernel dispatch + reflector bookkeeping."""
+
+    def __init__(self, A: TiledMatrix):
+        self.A = A
+        self.geqrt_refs: dict[tuple[int, int], object] = {}
+        self.kill_refs: dict[tuple[int, int], object] = {}  # (victim, panel)
+        #: factorization tasks in completion-compatible order, for build_q
+        self.factor_tasks: list[Task] = []
+
+    def run_task(self, t: Task) -> None:
+        A = self.A
+        kind = t.kind
+        if kind is KernelKind.GEQRT:
+            self.geqrt_refs[(t.row, t.panel)] = geqrt(A.tile(t.row, t.panel))
+            self.factor_tasks.append(t)
+        elif kind is KernelKind.UNMQR:
+            unmqr(self.geqrt_refs[(t.row, t.panel)], A.tile(t.row, t.col))
+        elif kind is KernelKind.TSQRT:
+            ref = tsqrt(A.tile(t.killer, t.panel), A.tile(t.row, t.panel))
+            self.kill_refs[(t.row, t.panel)] = ref
+            self.factor_tasks.append(t)
+        elif kind is KernelKind.TTQRT:
+            ref = ttqrt(A.tile(t.killer, t.panel), A.tile(t.row, t.panel))
+            self.kill_refs[(t.row, t.panel)] = ref
+            self.factor_tasks.append(t)
+        elif kind is KernelKind.TSMQR:
+            tsmqr(
+                self.kill_refs[(t.row, t.panel)],
+                A.tile(t.killer, t.col),
+                A.tile(t.row, t.col),
+            )
+        elif kind is KernelKind.TTMQR:
+            ttmqr(
+                self.kill_refs[(t.row, t.panel)],
+                A.tile(t.killer, t.col),
+                A.tile(t.row, t.col),
+            )
+        else:  # pragma: no cover - exhaustive
+            raise AssertionError(f"unknown kernel {kind}")
+
+
+class SequentialExecutor:
+    """Run the graph's tasks one by one in program order."""
+
+    def __init__(self, graph: TaskGraph, A: TiledMatrix):
+        if A.m != graph.m or A.n != graph.n:
+            raise ValueError(
+                f"matrix is {A.m}x{A.n} tiles but graph expects {graph.m}x{graph.n}"
+            )
+        self.graph = graph
+        self.runner = _KernelRunner(A)
+
+    def run(self) -> _KernelRunner:
+        for t in self.graph.tasks:
+            self.runner.run_task(t)
+        return self.runner
+
+
+class ThreadedExecutor:
+    """Dependency-driven execution on a pool of worker threads.
+
+    Ready tasks go to a shared deque; workers pull, execute, and release
+    successors whose in-degree drops to zero.  The per-tile dependency
+    chains of the graph guarantee no two concurrent tasks touch the same
+    tile, so kernels need no further locking.
+    """
+
+    def __init__(self, graph: TaskGraph, A: TiledMatrix, workers: int = 4):
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if A.m != graph.m or A.n != graph.n:
+            raise ValueError(
+                f"matrix is {A.m}x{A.n} tiles but graph expects {graph.m}x{graph.n}"
+            )
+        self.graph = graph
+        self.workers = workers
+        self.runner = _KernelRunner(A)
+
+    def run(self) -> _KernelRunner:
+        graph = self.graph
+        ntasks = len(graph.tasks)
+        indeg = [len(p) for p in graph.predecessors]
+        ready: deque[int] = deque(t for t in range(ntasks) if indeg[t] == 0)
+        lock = threading.Lock()
+        done_count = [0]
+        error: list[BaseException] = []
+        all_done = threading.Event()
+        if ntasks == 0:
+            return self.runner
+
+        def worker() -> None:
+            while not all_done.is_set():
+                with lock:
+                    if error:
+                        return
+                    tid = ready.popleft() if ready else None
+                if tid is None:
+                    if all_done.wait(timeout=0.0005):
+                        return
+                    continue
+                try:
+                    self.runner.run_task(graph.tasks[tid])
+                except BaseException as exc:  # propagate to caller
+                    with lock:
+                        error.append(exc)
+                    all_done.set()
+                    return
+                with lock:
+                    done_count[0] += 1
+                    if done_count[0] == ntasks:
+                        all_done.set()
+                    for s in graph.successors[tid]:
+                        indeg[s] -= 1
+                        if indeg[s] == 0:
+                            ready.append(s)
+
+        threads = [threading.Thread(target=worker) for _ in range(self.workers)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        if error:
+            raise error[0]
+        if done_count[0] != ntasks:  # pragma: no cover - deadlock guard
+            raise RuntimeError(
+                f"executor stalled: {done_count[0]}/{ntasks} tasks completed"
+            )
+        return self.runner
+
+
+def build_q(
+    runner: _KernelRunner, M: int, N: int, b: int, *, thin: bool = True
+) -> np.ndarray:
+    """Build the explicit ``Q`` by applying the reverse trees to the identity.
+
+    The factorization applied ``Q_K^T ... Q_1^T A = R``, so
+    ``Q = Q_1 ... Q_K`` is accumulated by applying the factorization
+    reflectors to the identity in *reverse* order with ``trans=False``.
+
+    Returns the thin ``M x N`` factor by default, or the full ``M x M``.
+    """
+    cols = N if thin else M
+    C = TiledMatrix.eye(M, cols, b)
+    for t in reversed(runner.factor_tasks):
+        if t.kind is KernelKind.GEQRT:
+            ref = runner.geqrt_refs[(t.row, t.panel)]
+            for c in range(C.n):
+                unmqr(ref, C.tile(t.row, c), trans=False)
+        else:
+            ref = runner.kill_refs[(t.row, t.panel)]
+            apply = tsmqr if t.kind is KernelKind.TSQRT else ttmqr
+            for c in range(C.n):
+                apply(ref, C.tile(t.killer, c), C.tile(t.row, c), trans=False)
+    return C.array

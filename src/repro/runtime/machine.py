@@ -1,0 +1,110 @@
+"""Cluster machine description.
+
+Calibrated by default to the paper's experimental platform (§V-A): the
+Grid'5000 *edel* cluster — 60 nodes x 8 cores, dual Nehalem E5520 at
+2.27 GHz (peak 9.08 GFlop/s/core in double precision), Infiniband 20G
+interconnect, one communication thread per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernels.weights import EDEL_RATES, KernelKind, KernelRates
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A cluster of identical multicore nodes.
+
+    Parameters
+    ----------
+    nodes, cores_per_node:
+        Cluster size.
+    rates:
+        Per-core kernel execution rates (GFlop/s).
+    latency:
+        Per-message latency in seconds.
+    bandwidth:
+        Effective point-to-point bandwidth in bytes/s.  The default is the
+        measured large-message MPI bandwidth of DDR Infiniband (20G signal
+        rate, 16 Gbit/s data rate, ~1.4 GB/s attainable through MPI).
+    comm_serialized:
+        When True (default), each node owns a single communication channel
+        (the paper's dedicated communication thread): transfers occupy the
+        channel of both endpoints.  When False the network is
+        contention-free.
+    """
+
+    nodes: int = 60
+    cores_per_node: int = 8
+    rates: KernelRates = EDEL_RATES
+    latency: float = 2.0e-6
+    bandwidth: float = 1.4e9
+    comm_serialized: bool = True
+    #: two-level network: nodes come in sites of this many nodes (0 = flat
+    #: network); transfers crossing a site boundary use the inter-site
+    #: parameters — the grid-computing setting of [3]
+    site_size: int = 0
+    inter_site_latency: float = 1.0e-4
+    inter_site_bandwidth: float = 1.25e8  # ~1 Gb/s WAN-ish
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 0 or self.cores_per_node <= 0:
+            raise ValueError("nodes and cores_per_node must be positive")
+        if self.latency < 0 or self.bandwidth <= 0:
+            raise ValueError("latency must be >= 0 and bandwidth > 0")
+        if self.site_size < 0:
+            raise ValueError("site_size must be >= 0")
+        if self.site_size and (
+            self.inter_site_latency < 0 or self.inter_site_bandwidth <= 0
+        ):
+            raise ValueError("inter-site latency/bandwidth invalid")
+
+    def site_of(self, node: int) -> int:
+        """Site index of a node (0 when the network is flat)."""
+        return node // self.site_size if self.site_size else 0
+
+    def link(self, src: int, dst: int) -> tuple[float, float]:
+        """(latency, bandwidth) of the src -> dst link."""
+        if self.site_size and self.site_of(src) != self.site_of(dst):
+            return self.inter_site_latency, self.inter_site_bandwidth
+        return self.latency, self.bandwidth
+
+    @property
+    def cores(self) -> int:
+        """Total core count."""
+        return self.nodes * self.cores_per_node
+
+    def peak_gflops(self) -> float:
+        """Theoretical double-precision peak of the whole machine."""
+        return self.cores * self.rates.peak
+
+    def task_seconds(self, kind: KernelKind, b: int) -> float:
+        """Execution time of one kernel instance on ``b x b`` tiles."""
+        return self.rates.seconds(kind, b)
+
+    def tile_bytes(self, b: int) -> int:
+        """Wire size of one tile (double precision)."""
+        return 8 * b * b
+
+    def transfer_seconds(self, b: int) -> float:
+        """Latency + bandwidth time of moving one tile between nodes."""
+        return self.latency + self.tile_bytes(b) / self.bandwidth
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def edel(cls, **overrides) -> "Machine":
+        """The paper's 60-node platform (4.358 TFlop/s peak)."""
+        return cls(**overrides)
+
+    @classmethod
+    def ideal(cls, nodes: int = 60, cores_per_node: int = 8) -> "Machine":
+        """Zero-latency, infinite-bandwidth variant — isolates DAG limits."""
+        return cls(
+            nodes=nodes,
+            cores_per_node=cores_per_node,
+            latency=0.0,
+            bandwidth=float("inf"),
+            comm_serialized=False,
+        )

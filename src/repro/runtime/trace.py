@@ -1,0 +1,98 @@
+"""Execution-trace analysis: utilization, kernel breakdown, ASCII Gantt.
+
+Consumes the ``trace`` recorded by
+:class:`~repro.runtime.simulator.ClusterSimulator` (``record_trace=True``):
+a list of ``(task_id, node, start, end)`` tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dag.graph import TaskGraph
+from repro.kernels.weights import KernelKind
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Aggregate statistics of one simulated run."""
+
+    makespan: float
+    node_busy: dict[int, float]
+    kernel_seconds: dict[KernelKind, float]
+    kernel_counts: dict[KernelKind, int]
+
+    @property
+    def utilization(self) -> dict[int, float]:
+        """Busy fraction per node (relative to makespan x cores... per-node
+        totals; divide by cores_per_node externally for per-core numbers)."""
+        if self.makespan == 0:
+            return {n: 0.0 for n in self.node_busy}
+        return {n: b / self.makespan for n, b in self.node_busy.items()}
+
+    def imbalance(self) -> float:
+        """max/mean node busy time — 1.0 is perfectly balanced."""
+        if not self.node_busy:
+            return 1.0
+        vals = list(self.node_busy.values())
+        mean = sum(vals) / len(vals)
+        return max(vals) / mean if mean > 0 else 1.0
+
+
+def summarize(trace: list[tuple[int, int, float, float]], graph: TaskGraph) -> TraceSummary:
+    """Aggregate a trace into per-node and per-kernel totals."""
+    node_busy: dict[int, float] = {}
+    kern_sec: dict[KernelKind, float] = {k: 0.0 for k in KernelKind}
+    kern_cnt: dict[KernelKind, int] = {k: 0 for k in KernelKind}
+    makespan = 0.0
+    for task_id, node, start, end in trace:
+        dur = end - start
+        node_busy[node] = node_busy.get(node, 0.0) + dur
+        kind = graph.tasks[task_id].kind
+        kern_sec[kind] += dur
+        kern_cnt[kind] += 1
+        if end > makespan:
+            makespan = end
+    return TraceSummary(
+        makespan=makespan,
+        node_busy=node_busy,
+        kernel_seconds=kern_sec,
+        kernel_counts=kern_cnt,
+    )
+
+
+def ascii_gantt(
+    trace: list[tuple[int, int, float, float]],
+    graph: TaskGraph,
+    *,
+    width: int = 78,
+    max_nodes: int = 16,
+) -> str:
+    """Coarse per-node timeline: one row per node, one glyph per time slot.
+
+    Glyphs: ``#`` slot fully busy, ``+`` partially, ``.`` idle.  Intended
+    for eyeballing pipeline ramp-up and starvation in a terminal.
+    """
+    if not trace:
+        return "(empty trace)"
+    makespan = max(end for _, _, _, end in trace)
+    nodes = sorted({node for _, node, _, _ in trace})[:max_nodes]
+    slot = makespan / width
+    lines = []
+    for node in nodes:
+        occupancy = [0.0] * width
+        for _, nd, start, end in trace:
+            if nd != node:
+                continue
+            first = min(int(start / slot), width - 1)
+            last = min(int(end / slot), width - 1)
+            for i in range(first, last + 1):
+                lo = max(start, i * slot)
+                hi = min(end, (i + 1) * slot)
+                occupancy[i] += max(0.0, hi - lo)
+        row = "".join(
+            "#" if occ >= 0.9 * slot else ("+" if occ > 0 else ".")
+            for occ in occupancy
+        )
+        lines.append(f"node {node:>3} |{row}|")
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Tiled-matrix substrate: tile storage, data distributions, tile state.
+
+A *tiled matrix* partitions an ``M x N`` dense matrix into ``m x n`` square
+tiles of size ``b x b`` (edge tiles may be smaller when ``M`` or ``N`` is not a
+multiple of ``b``).  Tile algorithms — and everything else in this package —
+operate at the tile level: a tile is addressed by its ``(row, col)`` tile
+indices, both starting at 0.
+"""
+
+from repro.tiles.matrix import TiledMatrix, tile_count
+from repro.tiles.layout import (
+    Layout,
+    Block1D,
+    Cyclic1D,
+    BlockCyclic2D,
+    SingleNode,
+)
+from repro.tiles.state import TileState, PanelStateTracker
+
+__all__ = [
+    "TiledMatrix",
+    "tile_count",
+    "Layout",
+    "Block1D",
+    "Cyclic1D",
+    "BlockCyclic2D",
+    "SingleNode",
+    "TileState",
+    "PanelStateTracker",
+]

@@ -1,0 +1,147 @@
+"""Numpy-backed tiled matrix.
+
+The :class:`TiledMatrix` wraps a dense 2-D :class:`numpy.ndarray` and exposes
+it as a grid of ``b x b`` tiles.  Tiles are *views* into the underlying array
+— kernels mutate them in place, which is exactly how PLASMA/DPLASMA tile
+storage behaves (minus the explicit tile-major memory layout, which is a
+cache-level concern the Python reproduction does not model).
+
+Edge tiles: when ``M`` (or ``N``) is not a multiple of ``b``, the last tile
+row (column) is smaller.  All kernels in :mod:`repro.kernels` accept such
+rectangular tiles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def tile_count(extent: int, b: int) -> int:
+    """Number of tiles covering ``extent`` rows/columns with tile size ``b``."""
+    if extent < 0:
+        raise ValueError(f"extent must be non-negative, got {extent}")
+    if b <= 0:
+        raise ValueError(f"tile size must be positive, got {b}")
+    return -(-extent // b)
+
+
+class TiledMatrix:
+    """A dense matrix viewed as an ``m x n`` grid of ``b x b`` tiles.
+
+    Parameters
+    ----------
+    data:
+        2-D array of shape ``(M, N)``.  It is used *in place* (not copied)
+        unless ``copy=True``.
+    b:
+        Tile size.  Interior tiles are ``b x b``; edge tiles are smaller when
+        ``M`` or ``N`` is not a multiple of ``b``.
+    copy:
+        Copy ``data`` instead of aliasing it.
+    """
+
+    def __init__(self, data: np.ndarray, b: int, *, copy: bool = False):
+        data = np.array(data, dtype=np.float64, copy=True) if copy else np.asarray(data)
+        if data.ndim != 2:
+            raise ValueError(f"expected a 2-D array, got ndim={data.ndim}")
+        if b <= 0:
+            raise ValueError(f"tile size must be positive, got {b}")
+        if not copy and data.dtype != np.float64:
+            data = data.astype(np.float64)
+        self._data = data
+        self.b = int(b)
+        self.M, self.N = data.shape
+        self.m = tile_count(self.M, b)
+        self.n = tile_count(self.N, b)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def zeros(cls, M: int, N: int, b: int) -> "TiledMatrix":
+        """All-zero ``M x N`` tiled matrix."""
+        return cls(np.zeros((M, N)), b)
+
+    @classmethod
+    def eye(cls, M: int, N: int, b: int) -> "TiledMatrix":
+        """Identity-padded ``M x N`` tiled matrix."""
+        return cls(np.eye(M, N), b)
+
+    @classmethod
+    def random(cls, M: int, N: int, b: int, seed: int | None = None) -> "TiledMatrix":
+        """Standard-normal random tiled matrix (reproducible via ``seed``)."""
+        rng = np.random.default_rng(seed)
+        return cls(rng.standard_normal((M, N)), b)
+
+    @classmethod
+    def from_tiles(cls, m: int, n: int, b: int) -> "TiledMatrix":
+        """Zero matrix specified by *tile* counts (all tiles full-size)."""
+        return cls(np.zeros((m * b, n * b)), b)
+
+    # ------------------------------------------------------------------ #
+    # Tile access
+    # ------------------------------------------------------------------ #
+    def _check(self, i: int, j: int) -> None:
+        if not (0 <= i < self.m and 0 <= j < self.n):
+            raise IndexError(
+                f"tile ({i}, {j}) out of range for a {self.m} x {self.n} tile grid"
+            )
+
+    def tile(self, i: int, j: int) -> np.ndarray:
+        """Writable view of tile ``(i, j)``."""
+        self._check(i, j)
+        b = self.b
+        return self._data[i * b : min((i + 1) * b, self.M), j * b : min((j + 1) * b, self.N)]
+
+    def __getitem__(self, ij: tuple[int, int]) -> np.ndarray:
+        return self.tile(*ij)
+
+    def __setitem__(self, ij: tuple[int, int], value: np.ndarray) -> None:
+        view = self.tile(*ij)
+        if np.shape(value) != view.shape:
+            raise ValueError(
+                f"tile ({ij[0]}, {ij[1]}) has shape {view.shape}, got {np.shape(value)}"
+            )
+        view[...] = value
+
+    def tile_shape(self, i: int, j: int) -> tuple[int, int]:
+        """Shape of tile ``(i, j)`` without materializing the view."""
+        self._check(i, j)
+        b = self.b
+        return (min((i + 1) * b, self.M) - i * b, min((j + 1) * b, self.N) - j * b)
+
+    def row_height(self, i: int) -> int:
+        """Row count of tiles in tile-row ``i``."""
+        return self.tile_shape(i, 0)[0] if self.n else min(self.b, self.M - i * self.b)
+
+    def col_width(self, j: int) -> int:
+        """Column count of tiles in tile-column ``j``."""
+        return self.tile_shape(0, j)[1] if self.m else min(self.b, self.N - j * self.b)
+
+    # ------------------------------------------------------------------ #
+    # Whole-matrix views
+    # ------------------------------------------------------------------ #
+    @property
+    def array(self) -> np.ndarray:
+        """The underlying dense array (aliased, not a copy)."""
+        return self._data
+
+    def to_array(self) -> np.ndarray:
+        """Dense copy of the matrix."""
+        return self._data.copy()
+
+    def copy(self) -> "TiledMatrix":
+        """Deep copy with the same tiling."""
+        return TiledMatrix(self._data.copy(), self.b)
+
+    def iter_tiles(self):
+        """Yield ``(i, j, view)`` over all tiles in row-major order."""
+        for i in range(self.m):
+            for j in range(self.n):
+                yield i, j, self.tile(i, j)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TiledMatrix(M={self.M}, N={self.N}, b={self.b}, "
+            f"tiles={self.m}x{self.n})"
+        )

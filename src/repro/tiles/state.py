@@ -1,0 +1,83 @@
+"""Tile state machine used by elimination-list validation.
+
+§II of the paper: "a tile can have three states: square, triangle, and zero.
+Initially, all tiles are square.  A killer must be a triangle, and we
+transform a square into a triangle using the GEQRT kernel."
+
+:class:`PanelStateTracker` replays an elimination list for one panel and
+checks each transition; :mod:`repro.hqr.validate` builds the full multi-panel
+checker on top of it.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class TileState(enum.Enum):
+    """State of a tile within its panel during the factorization."""
+
+    SQUARE = "square"
+    TRIANGLE = "triangle"
+    ZERO = "zero"
+
+
+class PanelStateTracker:
+    """Tracks tile states for a single panel while eliminations are replayed.
+
+    Parameters
+    ----------
+    rows:
+        Row indices participating in the panel (tiles on/below the diagonal).
+    """
+
+    def __init__(self, rows: list[int]):
+        self.state: dict[int, TileState] = {i: TileState.SQUARE for i in rows}
+
+    def geqrt(self, i: int) -> None:
+        """Square -> triangle transition (GEQRT kernel)."""
+        if self.state.get(i) != TileState.SQUARE:
+            raise ValueError(
+                f"GEQRT on row {i}: expected SQUARE, found {self.state.get(i)}"
+            )
+        self.state[i] = TileState.TRIANGLE
+
+    def kill(self, i: int, killer: int, *, ts: bool) -> None:
+        """Zero out row ``i`` using row ``killer``.
+
+        ``ts=True`` models a TSQRT (killer triangle kills a *square*);
+        ``ts=False`` models a TTQRT (killer triangle kills a *triangle*).
+        An implicit GEQRT is applied to the killer if it is still square —
+        per Algorithm 2, the killing elimination always starts by
+        triangularizing the killer.
+        """
+        if i == killer:
+            raise ValueError(f"row {i} cannot kill itself")
+        if self.state.get(killer) == TileState.SQUARE:
+            self.geqrt(killer)
+        if self.state.get(killer) != TileState.TRIANGLE:
+            raise ValueError(
+                f"killer row {killer} is {self.state.get(killer)}, must be a "
+                "potential annihilator (triangle)"
+            )
+        victim = self.state.get(i)
+        if victim == TileState.ZERO:
+            raise ValueError(f"row {i} already zeroed out")
+        if victim is None:
+            raise ValueError(f"row {i} does not participate in this panel")
+        if ts and victim != TileState.SQUARE:
+            raise ValueError(f"TS kill of row {i}: expected SQUARE, found {victim}")
+        if not ts:
+            if victim == TileState.SQUARE:
+                # TT kernels require both operands triangular (Algorithm 2b
+                # triangularizes the victim with its own GEQRT first).
+                self.geqrt(i)
+        self.state[i] = TileState.ZERO
+
+    def remaining(self) -> list[int]:
+        """Rows whose panel tile is not yet zero."""
+        return [i for i, s in self.state.items() if s != TileState.ZERO]
+
+    def is_reduced(self) -> bool:
+        """True when exactly one non-zero tile remains (the panel survivor)."""
+        return len(self.remaining()) == 1

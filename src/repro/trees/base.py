@@ -1,0 +1,68 @@
+"""Common elimination record and panel-tree interface."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True, order=True)
+class Elimination:
+    """One orthogonal transformation ``elim(victim, killer, panel)``.
+
+    Combines rows ``victim`` and ``killer`` to zero out tile
+    ``(victim, panel)``; tile ``(killer, panel)`` accumulates the result.
+    ``ts`` records whether the kill uses the TS kernel pair (victim still
+    square) or the TT pair (victim previously triangularized).
+    """
+
+    panel: int
+    victim: int
+    killer: int
+    ts: bool = False
+
+    def __post_init__(self) -> None:
+        if self.victim == self.killer:
+            raise ValueError(f"row {self.victim} cannot kill itself")
+        if self.victim <= self.panel:
+            raise ValueError(
+                f"victim {self.victim} is on/above the diagonal of panel {self.panel}"
+            )
+        if self.killer < self.panel:
+            raise ValueError(
+                f"killer {self.killer} lies above panel {self.panel}'s diagonal"
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "TS" if self.ts else "TT"
+        return f"elim({self.victim} <- {self.killer}, panel {self.panel}, {kind})"
+
+
+class PanelTree(ABC):
+    """A reduction structure over an ordered set of rows.
+
+    ``eliminations(rows)`` reduces ``rows`` (any sorted sequence of distinct
+    row indices) down to its *first* element, returning ``(victim, killer)``
+    pairs in a dependency-respecting sequential order (every pair's killer is
+    still alive when the pair executes, and each victim dies exactly once).
+    """
+
+    #: human-readable identifier ("flat", "binary", "greedy", "fibonacci")
+    name: str = "?"
+
+    @abstractmethod
+    def eliminations(self, rows: Sequence[int]) -> list[tuple[int, int]]:
+        """Ordered ``(victim, killer)`` pairs reducing ``rows`` to ``rows[0]``."""
+
+    @staticmethod
+    def _check_rows(rows: Sequence[int]) -> list[int]:
+        rows = list(rows)
+        if len(set(rows)) != len(rows):
+            raise ValueError("rows must be distinct")
+        if any(b <= a for a, b in zip(rows, rows[1:])):
+            raise ValueError("rows must be sorted increasing (first = survivor)")
+        return rows
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

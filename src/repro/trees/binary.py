@@ -1,0 +1,30 @@
+"""BINARYTREE: pairwise (binomial) reduction — Figure 2 / Table III.
+
+Round ``r`` kills every row at local index ``2^(r-1) mod 2^r`` using the row
+``2^(r-1)`` positions above it.  Maximum panel parallelism
+(``ceil(log2(len(rows)))`` rounds), but poor pipelining across panels —
+the "bumps" of Table III.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.trees.base import PanelTree
+
+
+class BinaryTree(PanelTree):
+    """Binomial-tree reduction over the given rows."""
+
+    name = "binary"
+
+    def eliminations(self, rows: Sequence[int]) -> list[tuple[int, int]]:
+        rows = self._check_rows(rows)
+        q = len(rows)
+        out: list[tuple[int, int]] = []
+        stride = 1
+        while stride < q:
+            for lo in range(stride, q, 2 * stride):
+                out.append((rows[lo], rows[lo - stride]))
+            stride *= 2
+        return out

@@ -1,0 +1,74 @@
+"""Critical-path formulas for reduction trees (coarse unit-time model).
+
+§VI lists "compute critical paths and assess priorities" as future work;
+§V-B already uses the asymptotic estimates from [1] to explain the
+low-level-tree results: for an ``m' x n`` (local) tile matrix,
+
+* FLATTREE   : ``CP ~ m' + 2n``  (the pipeline is as long as the column),
+* GREEDY     : ``CP ~ log2(m') + 2n``  (asymptotically optimal, [12][13]),
+
+giving the paper's example ratio ``(68 + 2*16) / (log2(68) + 2*16) ~ 2.6``
+for the 286,720 x 4,480 case on 15 grid rows.
+
+This module provides those estimates, the exact single-panel step counts,
+and the exact multi-panel coarse critical path via the scheduler.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.trees.factory import make_tree
+from repro.trees.fibonacci import fibonacci_groups
+from repro.trees.greedy import greedy_elimination_list
+from repro.trees.pipelined import panel_elimination_list
+from repro.trees.schedule import coarse_schedule
+
+
+def panel_steps(tree: str, q: int) -> int:
+    """Exact unit-time steps to reduce a fresh panel of ``q`` rows.
+
+    Closed forms: flat ``q - 1``; binary and greedy ``ceil(log2 q)``;
+    fibonacci = number of Fibonacci groups covering ``q - 1`` victims.
+    """
+    if q <= 0:
+        raise ValueError(f"need at least one row, got q={q}")
+    if q == 1:
+        return 0
+    name = tree.lower()
+    if name == "flat":
+        return q - 1
+    if name in ("binary", "greedy"):
+        return math.ceil(math.log2(q))
+    if name == "fibonacci":
+        return len(fibonacci_groups(q - 1))
+    raise ValueError(f"unknown tree {tree!r}")
+
+
+def matrix_steps_estimate(tree: str, m: int, n: int) -> float:
+    """[1]-style asymptotic coarse critical path of an ``m x n`` tile QR."""
+    name = tree.lower()
+    if name == "flat":
+        return m + 2 * n
+    if name in ("binary", "greedy"):
+        return math.log2(max(m, 2)) + 2 * n
+    if name == "fibonacci":
+        # groups grow like log_phi
+        return math.log(max(m, 2), (1 + math.sqrt(5)) / 2) + 2 * n
+    raise ValueError(f"unknown tree {tree!r}")
+
+
+def matrix_steps_exact(tree: str, m: int, n: int) -> int:
+    """Exact coarse critical path of the pipelined tree over the matrix."""
+    if tree.lower() == "greedy":
+        _, steps = greedy_elimination_list(m, n, return_steps=True)
+        return max(steps.values(), default=0)
+    elims = panel_elimination_list(m, n, make_tree(tree))
+    steps = coarse_schedule(elims)
+    return max(steps.values(), default=0)
+
+
+def paper_flat_over_greedy_ratio(local_m: int, n: int) -> float:
+    """The §V-B estimate: flat-vs-greedy critical-path ratio on a local
+    ``local_m x n`` matrix (2.6 for the paper's 68 x 16 example)."""
+    return (local_m + 2 * n) / (math.log2(local_m) + 2 * n)

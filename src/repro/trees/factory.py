@@ -1,0 +1,31 @@
+"""Tree registry: name -> PanelTree instance."""
+
+from __future__ import annotations
+
+from repro.trees.base import PanelTree
+from repro.trees.binary import BinaryTree
+from repro.trees.fibonacci import FibonacciTree
+from repro.trees.flat import FlatTree
+from repro.trees.greedy import GreedyTree
+
+_REGISTRY: dict[str, type[PanelTree]] = {
+    "flat": FlatTree,
+    "binary": BinaryTree,
+    "greedy": GreedyTree,
+    "fibonacci": FibonacciTree,
+}
+
+#: Names accepted by :func:`make_tree` — the paper's four tree choices.
+TREE_NAMES: tuple[str, ...] = tuple(_REGISTRY)
+
+
+def make_tree(name: str | PanelTree) -> PanelTree:
+    """Instantiate a panel tree from its name (or pass one through)."""
+    if isinstance(name, PanelTree):
+        return name
+    try:
+        return _REGISTRY[name.lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown tree {name!r}; choose from {sorted(_REGISTRY)}"
+        ) from None

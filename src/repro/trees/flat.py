@@ -1,0 +1,23 @@
+"""FLATTREE: a single killer annihilates every row, one after another.
+
+Figure 1 / Table I of the paper.  Serial (length ``len(rows) - 1`` critical
+path within the panel) but pipelines perfectly across panels (Table II) and
+is the only tree compatible with TS kernels, since victims stay square.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.trees.base import PanelTree
+
+
+class FlatTree(PanelTree):
+    """Reduce rows with the single killer ``rows[0]``, top to bottom."""
+
+    name = "flat"
+
+    def eliminations(self, rows: Sequence[int]) -> list[tuple[int, int]]:
+        rows = self._check_rows(rows)
+        survivor = rows[0]
+        return [(victim, survivor) for victim in rows[1:]]

@@ -1,0 +1,42 @@
+"""Apply a panel tree to every panel of an ``m x n`` tile matrix.
+
+This is the non-hierarchical ("one level") construction used by the paper's
+Tables II and III and by the [BBD+10] baseline: panel ``k`` reduces rows
+``k .. m-1`` with the same tree shape.  The returned list is panel-major,
+which is always a valid sequential order; the parallel schedule (the "bumps"
+of Table III) emerges from :func:`repro.trees.schedule.coarse_schedule`.
+"""
+
+from __future__ import annotations
+
+from repro.trees.base import Elimination, PanelTree
+from repro.trees.flat import FlatTree
+
+
+def panel_elimination_list(
+    m: int, n: int, tree: PanelTree, *, ts: bool | None = None
+) -> list[Elimination]:
+    """Elimination list applying ``tree`` independently to each panel.
+
+    Parameters
+    ----------
+    m, n:
+        Tile counts of the matrix.
+    tree:
+        Panel reduction tree applied to rows ``k .. m-1`` of each panel ``k``.
+    ts:
+        Mark eliminations as TS-kernel kills.  Defaults to ``True`` for a
+        flat tree (single killer — victims stay square) and ``False``
+        otherwise; pass explicitly to override (e.g. a flat tree forced to
+        TT kernels).
+    """
+    if m <= 0 or n <= 0:
+        raise ValueError(f"m and n must be positive, got m={m}, n={n}")
+    if ts is None:
+        ts = isinstance(tree, FlatTree)
+    elims: list[Elimination] = []
+    for k in range(min(n, m - 1)):
+        rows = list(range(k, m))
+        for victim, killer in tree.eliminations(rows):
+            elims.append(Elimination(panel=k, victim=victim, killer=killer, ts=ts))
+    return elims

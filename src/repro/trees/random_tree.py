@@ -1,0 +1,42 @@
+"""Random valid elimination lists — the full §II combinatorial space.
+
+The library's named trees cover a few points of the space of valid
+elimination lists; this generator samples it uniformly-ish, for fuzzing
+the validator, the DAG builder and the executors against algorithms nobody
+designed.
+
+Construction: panels in order; within a panel, repeatedly pick a random
+still-alive victim (any non-survivor row) and a random still-alive killer
+above or below it — any alive row other than the victim is legal, as long
+as the intended survivor (the diagonal row) is never killed.  TS kills are
+used only when the victim is untouched (still square) and the RNG says so.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.trees.base import Elimination
+
+
+def random_elimination_list(
+    m: int, n: int, seed: int | None = None, *, ts_probability: float = 0.5
+) -> list[Elimination]:
+    """A uniformly random valid elimination list for an ``m x n`` matrix."""
+    if m <= 0 or n <= 0:
+        raise ValueError(f"m and n must be positive, got m={m}, n={n}")
+    rng = random.Random(seed)
+    elims: list[Elimination] = []
+    for k in range(min(n, m - 1)):
+        alive = list(range(k, m))
+        square = set(alive)
+        while len(alive) > 1:
+            victim = rng.choice([r for r in alive if r != k])
+            killer = rng.choice([r for r in alive if r != victim])
+            ts = victim in square and rng.random() < ts_probability
+            if not ts:
+                square.discard(victim)
+            square.discard(killer)  # the killer is triangularized by now
+            elims.append(Elimination(panel=k, victim=victim, killer=killer, ts=ts))
+            alive.remove(victim)
+    return elims

@@ -1,0 +1,78 @@
+"""Weighted coarse schedule: kernel-weight-aware elimination timing.
+
+The unit-time model of Tables I-IV charges one step per elimination; [1]
+(Bouwmeester et al., cited throughout §II-III) refines it with the kernel
+weights — a TS kill costs 6 (TSQRT) versus 2 for TT (TTQRT, plus 4 for the
+victim's GEQRT when it is still square), and trailing updates cost 12 or 6
+per column.  This scheduler replays an elimination list under that model
+with unbounded resources:
+
+* a kill starts when both rows are free *and* both rows' panel tiles are
+  up to date (their column-``k-1`` updates finished);
+* the kill occupies both rows for its kill weight;
+* its trailing updates all run concurrently right after the kill (one
+  update weight), publishing the rows' tiles in the following columns.
+
+The model ignores the per-column update chains on the killer row, so it is
+an *optimistic* estimate of the DAG's weighted critical path — cheaper
+than building the graph (no task expansion) and accurate enough to rank
+trees (tested against :func:`repro.dag.analysis.critical_path_weight`).
+"""
+
+from __future__ import annotations
+
+from repro.kernels.weights import WEIGHTS, KernelKind
+from repro.trees.base import Elimination
+
+
+def weighted_schedule(
+    elims: list[Elimination], n: int
+) -> tuple[dict[Elimination, float], float]:
+    """Kill start times and overall makespan, in ``b^3/3`` weight units."""
+    free: dict[int, float] = {}
+    col_done: dict[tuple[int, int], float] = {}  # (row, col) -> tile current
+    triangled: set[tuple[int, int]] = set()
+    starts: dict[Elimination, float] = {}
+    makespan = 0.0
+
+    geqrt_w = WEIGHTS[KernelKind.GEQRT]
+
+    def row_ready(row: int, panel: int, *, triangularize: bool) -> float:
+        """When the row's panel tile is usable (incl. its own GEQRT, which
+        runs as a per-row prelude in parallel with the other row's)."""
+        t = max(free.get(row, 0.0), col_done.get((row, panel), 0.0))
+        if triangularize and (row, panel) not in triangled:
+            triangled.add((row, panel))
+            t += geqrt_w
+        return t
+
+    for e in elims:
+        if e.ts:
+            kill_w, upd = WEIGHTS[KernelKind.TSQRT], WEIGHTS[KernelKind.TSMQR]
+            victim_tri = False
+        else:
+            kill_w, upd = WEIGHTS[KernelKind.TTQRT], WEIGHTS[KernelKind.TTMQR]
+            victim_tri = True
+        start = max(
+            row_ready(e.killer, e.panel, triangularize=True),
+            row_ready(e.victim, e.panel, triangularize=victim_tri),
+        )
+        kill_done = start + kill_w
+        starts[e] = start
+        free[e.victim] = kill_done
+        free[e.killer] = kill_done
+        if e.panel + 1 < n:
+            done = kill_done + upd
+            for col in range(e.panel + 1, n):
+                col_done[(e.victim, col)] = done
+                col_done[(e.killer, col)] = done
+            if done > makespan:
+                makespan = done
+        elif kill_done > makespan:
+            makespan = kill_done
+    return starts, makespan
+
+
+def weighted_makespan(elims: list[Elimination], n: int) -> float:
+    """Just the makespan of :func:`weighted_schedule`."""
+    return weighted_schedule(elims, n)[1]

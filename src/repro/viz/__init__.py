@@ -1,0 +1,15 @@
+"""Terminal visualizations: reduction trees, schedules, profiles.
+
+Everything renders to plain text — the library targets headless HPC
+environments; pipe the output into a pager or commit it as a golden file.
+"""
+
+from repro.viz.trees import render_reduction_tree, render_elimination_timeline
+from repro.viz.profiles import sparkline, render_parallelism_profile
+
+__all__ = [
+    "render_reduction_tree",
+    "render_elimination_timeline",
+    "sparkline",
+    "render_parallelism_profile",
+]

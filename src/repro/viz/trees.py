@@ -1,0 +1,84 @@
+"""Reduction-tree rendering (the Figures 1-4 drawings, in ASCII).
+
+A panel reduction is a binary tree: every elimination is an internal node
+whose children are the current values of the killer and the victim.  We
+render it as an indented outline rooted at the surviving row — compact and
+diff-friendly for golden-file tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_reduction_tree(
+    elims: Sequence[tuple[int, int]], rows: Sequence[int] | None = None
+) -> str:
+    """Render a single-panel reduction ``(victim, killer)`` list.
+
+    The output shows, under each surviving row, the reductions it absorbed
+    in reverse chronological order (the tree structure of Figures 1-4)::
+
+        0
+        ├─ 1            <- final elimination: 0 killed 1
+        │  └─ 3         <- before that, 1 had killed 3
+        └─ 2
+
+    ``rows`` defaults to every row mentioned.
+    """
+    elims = list(elims)
+    if rows is None:
+        seen = {r for pair in elims for r in pair}
+        rows = sorted(seen)
+    children: dict[int, list[int]] = {r: [] for r in rows}
+    killed: set[int] = set()
+    for victim, killer in elims:
+        if victim in killed:
+            raise ValueError(f"row {victim} killed twice")
+        if killer in killed:
+            raise ValueError(f"dead row {killer} used as killer")
+        children[killer].append(victim)
+        killed.add(victim)
+    survivors = [r for r in rows if r not in killed]
+    lines: list[str] = []
+
+    def walk(row: int, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(str(row))
+            child_prefix = ""
+        else:
+            lines.append(f"{prefix}{'└─ ' if is_last else '├─ '}{row}")
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        # most recent kill on top (reverse chronological)
+        kids = list(reversed(children[row]))
+        for i, kid in enumerate(kids):
+            walk(kid, child_prefix, i == len(kids) - 1, False)
+
+    for survivor in survivors:
+        walk(survivor, "", True, True)
+    return "\n".join(lines)
+
+
+def render_elimination_timeline(
+    elims: Sequence[tuple[int, int]], steps: dict | None = None
+) -> str:
+    """One line per elimination, grouped by coarse step when provided."""
+    if steps is None:
+        return "\n".join(f"{k:>4} kills {v}" for v, k in elims)
+    by_step: dict[int, list[str]] = {}
+    for victim, killer in elims:
+        # steps keyed by Elimination or (victim, killer); support both
+        step = None
+        for key, val in steps.items():
+            vk = (getattr(key, "victim", None), getattr(key, "killer", None))
+            if vk == (victim, killer) or key == (victim, killer):
+                step = val
+                break
+        by_step.setdefault(step if step is not None else -1, []).append(
+            f"{killer}->{victim}"
+        )
+    lines = []
+    for step in sorted(by_step):
+        label = f"step {step}" if step >= 0 else "unscheduled"
+        lines.append(f"{label:>12}: " + "  ".join(by_step[step]))
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""PLASMA-TREE baseline (Hadri et al. [7])."""
+
+import pytest
+
+from repro.baselines.plasma_tree import plasma_tree_config, plasma_tree_elimination_list
+from repro.hqr import check_elimination_list
+
+
+class TestPlasmaTree:
+    def test_valid(self):
+        check_elimination_list(plasma_tree_elimination_list(16, 4, bs=4), 16, 4)
+
+    def test_flat_ts_within_domains(self):
+        bs = 4
+        for e in plasma_tree_elimination_list(16, 2, bs):
+            if e.ts:
+                # same contiguous domain (p=1 -> local view == global view)
+                assert e.victim // bs == e.killer // bs or e.killer < bs
+
+    def test_binary_between_domains(self):
+        bs, m = 4, 16
+        cross = [
+            e
+            for e in plasma_tree_elimination_list(m, 1, bs)
+            if not e.ts
+        ]
+        assert cross and all(not e.ts for e in cross)
+        # the binary merge touches only domain survivors
+        for e in cross:
+            assert e.victim % bs == 0 or e.victim < bs
+
+    def test_bs_equals_one_is_pure_binary(self):
+        elims = plasma_tree_elimination_list(8, 1, bs=1)
+        assert all(not e.ts for e in elims)
+
+    def test_bs_covers_matrix_is_pure_flat_ts(self):
+        elims = plasma_tree_elimination_list(8, 1, bs=8)
+        assert all(e.ts for e in elims)
+
+    def test_rejects_bad_bs(self):
+        with pytest.raises(ValueError):
+            plasma_tree_config(0)
+
+    def test_bs_tradeoff_visible_in_critical_path(self):
+        """Small bs -> more parallelism (shorter CP); big bs -> more TS."""
+        from repro.dag import TaskGraph, critical_path_weight
+        from repro.hqr.stats import kernel_mix
+
+        m, n = 32, 4
+        cp, ts = {}, {}
+        for bs in (1, 4, 32):
+            g = TaskGraph.from_eliminations(
+                plasma_tree_elimination_list(m, n, bs), m, n
+            )
+            cp[bs] = critical_path_weight(g)
+            ts[bs] = kernel_mix(g).ts_fraction
+        assert cp[1] < cp[32]
+        assert ts[1] == 0.0 < ts[4] < ts[32]

@@ -1,0 +1,68 @@
+"""Bench harness module: setup, scaling knobs, table generators."""
+
+import pytest
+
+from repro.bench import BenchSetup, run_config, run_eliminations
+from repro.bench.runner import PAPER_M_TILES, bench_scale, sweep_m_values
+from repro.bench.tables import panel_tree_figures, table1, table2, table4
+from repro.hqr import HQRConfig
+from repro.trees import FlatTree, panel_elimination_list
+
+
+class TestRunner:
+    def test_default_setup_matches_paper(self):
+        s = BenchSetup()
+        assert s.b == 280
+        assert (s.grid_p, s.grid_q) == (15, 4)
+        assert s.machine.nodes == 60
+
+    def test_paper_m_values(self):
+        assert PAPER_M_TILES[0] * 280 == 4480
+        assert PAPER_M_TILES[-1] * 280 == 286720
+
+    def test_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "small")
+        assert bench_scale() == "small"
+        assert len(sweep_m_values()) == 3
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        assert sweep_m_values() == PAPER_M_TILES
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "bogus")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+    def test_run_config_returns_simulation(self):
+        res = run_config(16, 4, HQRConfig(p=15, q=4, a=2), BenchSetup())
+        assert res.makespan > 0
+        assert res.gflops > 0
+
+    def test_run_eliminations_custom_layout(self):
+        from repro.tiles.layout import SingleNode
+
+        elims = panel_elimination_list(8, 2, FlatTree())
+        res = run_eliminations(elims, 8, 2, BenchSetup(), layout=SingleNode())
+        assert res.messages == 0
+
+
+class TestTables:
+    def test_table1_dimensions(self):
+        t = table1(m=8)
+        assert len(t) == 8 and len(t[0]) == 1
+
+    def test_table2_matches_flat_pipeline(self):
+        t = table2(m=6, panels=2)
+        assert t[5][1] == (1, 6)
+
+    def test_table4_default_shape(self):
+        t = table4()
+        assert len(t) == 12 and len(t[0]) == 3
+
+    def test_panel_tree_figures_keys(self):
+        figs = panel_tree_figures()
+        assert set(figs) == {
+            "fig1_flat",
+            "fig2_binary",
+            "fig3_flat_binary",
+            "fig4_domain",
+        }
+        # all four reduce 12 rows: 11 eliminations each
+        assert all(len(v) == 11 for v in figs.values())

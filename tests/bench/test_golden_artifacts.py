@@ -1,0 +1,72 @@
+"""Golden-file regression tests for the exact combinatorial artifacts.
+
+The paper's tables are frozen objects; any code change that perturbs them
+is a regression by definition.  The goldens are inlined (not files) so the
+diff review shows exactly what changed.
+"""
+
+from repro.bench.tables import table1, table4
+from repro.hqr.levels import format_level_grid, level_grid
+from repro.trees.schedule import format_killer_table
+
+GOLDEN_TABLE1 = """\
+Row  | P0: killer step
+  0  |   ?    ?
+  1  |    0    1
+  2  |    0    2
+  3  |    0    3
+  4  |    0    4
+  5  |    0    5
+  6  |    0    6
+  7  |    0    7
+  8  |    0    8
+  9  |    0    9
+ 10  |    0   10
+ 11  |    0   11"""
+
+GOLDEN_TABLE4_ROWS = {
+    # spot-frozen rows of the greedy table (full check in test_paper_tables)
+    1: "  1  |    0    4  |   ?    ?  |   ?    ?",
+    11: " 11  |    5    1  |    8    2  |   10    3",
+}
+
+GOLDEN_FIG5_FIRST_SIX_ROWS = """\
+3 . . . . . . . . .
+3 3 . . . . . . . .
+3 3 3 . . . . . . .
+0 3 3 3 . . . . . .
+0 2 3 3 3 . . . . .
+0 2 2 3 3 3 . . . ."""
+
+
+class TestGoldens:
+    def test_table1_exact_text(self):
+        text = format_killer_table(table1(), [0])
+        assert text == GOLDEN_TABLE1
+
+    def test_table4_frozen_rows(self):
+        lines = format_killer_table(table4(), [0, 1, 2]).splitlines()
+        for row, expected in GOLDEN_TABLE4_ROWS.items():
+            assert lines[row + 1] == expected  # +1 for the header line
+
+    def test_figure5_frozen_prefix(self):
+        grid = level_grid(24, 10, 3, 2, domino=True)
+        text = format_level_grid(grid)
+        assert "\n".join(text.splitlines()[:6]) == GOLDEN_FIG5_FIRST_SIX_ROWS
+
+    def test_elimination_list_fingerprint(self):
+        """A stable hash of the canonical HQR list — any change to the tree
+        construction shows up here first."""
+        import hashlib
+
+        from repro.hqr import HQRConfig, hqr_elimination_list
+        from repro.io import eliminations_to_json
+
+        elims = hqr_elimination_list(24, 10, HQRConfig(p=3, a=2))
+        digest = hashlib.sha256(
+            eliminations_to_json(elims, 24, 10).encode()
+        ).hexdigest()[:16]
+        assert digest == "b96455695115b2d1", (
+            "HQR elimination list changed; if intentional, update the "
+            f"fingerprint to {digest!r} and document why in the commit"
+        )

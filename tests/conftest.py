@@ -1,0 +1,32 @@
+"""Shared fixtures."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for every test."""
+    return np.random.default_rng(12345)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--slow",
+        action="store_true",
+        default=False,
+        help="also run slow (large-matrix) tests",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--slow"):
+        return
+    skip = pytest.mark.skip(reason="slow test: pass --slow to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip)
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: large-matrix tests")

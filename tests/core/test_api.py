@@ -1,0 +1,133 @@
+"""High-level qr() driver: the paper's §V-A acceptance checks."""
+
+import numpy as np
+import pytest
+
+from repro import HQRConfig, qr
+from repro.trees.base import Elimination
+
+
+class TestNumericalChecks:
+    @pytest.mark.parametrize(
+        "shape,b",
+        [((40, 20), 5), ((36, 36), 6), ((50, 10), 10), ((8, 8), 8), ((21, 14), 7)],
+    )
+    def test_orthogonality_and_reconstruction(self, rng, shape, b):
+        A = rng.standard_normal(shape)
+        res = qr(A, b=b, config=HQRConfig(p=2, a=2))
+        assert res.orthogonality_error() < 1e-12
+        assert res.reconstruction_error(A) < 1e-12
+
+    @pytest.mark.parametrize(
+        "cfg",
+        [
+            HQRConfig(),
+            HQRConfig(p=3, a=2, low_tree="flat", high_tree="flat"),
+            HQRConfig(p=2, a=3, low_tree="binary", high_tree="greedy", domino=False),
+            HQRConfig(p=4, a=1, low_tree="fibonacci", high_tree="fibonacci"),
+        ],
+        ids=["default", "flatflat", "bingreedy", "fibfib"],
+    )
+    def test_all_tree_families(self, rng, cfg):
+        A = rng.standard_normal((48, 24))
+        res = qr(A, b=6, config=cfg)
+        assert res.orthogonality_error() < 1e-12
+        assert res.reconstruction_error(A) < 1e-12
+
+    def test_r_matches_scipy_up_to_signs(self, rng):
+        import scipy.linalg as sla
+
+        A = rng.standard_normal((30, 18))
+        res = qr(A, b=6, config=HQRConfig(p=3, a=2))
+        Rref = sla.qr(A, mode="r")[0][:18]
+        np.testing.assert_allclose(np.abs(res.R[:18]), np.abs(Rref), atol=1e-11)
+
+
+class TestPadding:
+    def test_row_padding(self, rng):
+        A = rng.standard_normal((23, 12))  # 23 % 6 != 0
+        res = qr(A, b=6, config=HQRConfig(p=2, a=2))
+        assert res.R.shape == (23, 12)
+        assert res.Q.shape == (23, 12)
+        assert res.orthogonality_error() < 1e-12
+        assert res.reconstruction_error(A) < 1e-12
+
+    def test_column_edge_tiles(self, rng):
+        A = rng.standard_normal((24, 10))  # 10 % 6 != 0
+        res = qr(A, b=6)
+        assert res.reconstruction_error(A) < 1e-12
+
+    def test_both_ragged(self, rng):
+        A = rng.standard_normal((25, 11))
+        res = qr(A, b=6, config=HQRConfig(p=2, a=2))
+        assert res.reconstruction_error(A) < 1e-12
+
+
+class TestDriverOptions:
+    def test_input_not_modified(self, rng):
+        A = rng.standard_normal((12, 6))
+        A0 = A.copy()
+        qr(A, b=3)
+        np.testing.assert_array_equal(A, A0)
+
+    def test_threads(self, rng):
+        A = rng.standard_normal((24, 12))
+        r0 = qr(A, b=4, config=HQRConfig(p=2, a=2), threads=0)
+        r4 = qr(A, b=4, config=HQRConfig(p=2, a=2), threads=4)
+        np.testing.assert_array_equal(r0.R, r4.R)
+
+    def test_custom_elimination_list(self, rng):
+        from repro.trees import GreedyTree, panel_elimination_list
+
+        A = rng.standard_normal((20, 8))
+        elims = panel_elimination_list(5, 2, GreedyTree())
+        res = qr(A, b=4, eliminations=elims)
+        assert res.reconstruction_error(A) < 1e-12
+
+    def test_invalid_custom_list_rejected(self, rng):
+        A = rng.standard_normal((12, 4))  # 3 x 1 tiles: rows 1 AND 2 must die
+        bad = [Elimination(panel=0, victim=1, killer=0)]  # row 2 never zeroed
+        with pytest.raises(Exception):
+            qr(A, b=4, eliminations=bad)
+
+    def test_validation_can_be_skipped(self, rng):
+        from repro.trees import FlatTree, panel_elimination_list
+
+        A = rng.standard_normal((8, 4))
+        elims = panel_elimination_list(2, 2, FlatTree())
+        qr(A, b=4, eliminations=elims, validate=False)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            qr(np.zeros((0, 3)), b=2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            qr(np.zeros(5), b=2)
+
+    def test_result_metadata(self, rng):
+        A = rng.standard_normal((12, 6))
+        res = qr(A, b=3, config=HQRConfig(p=2))
+        assert (res.M, res.N, res.b) == (12, 6, 3)
+        assert len(res.eliminations) == len({(e.victim, e.panel) for e in res.eliminations})
+        assert len(res.graph) > 0
+
+
+class TestConditioning:
+    def test_graded_matrix(self, rng):
+        """Columns scaled over 12 orders of magnitude still factor stably."""
+        A = rng.standard_normal((30, 15)) * np.logspace(0, -12, 15)
+        res = qr(A, b=5, config=HQRConfig(p=3, a=2))
+        assert res.orthogonality_error() < 1e-12
+
+    def test_exactly_rank_one_matrix(self, rng):
+        u = rng.standard_normal((20, 1))
+        v = rng.standard_normal((1, 10))
+        A = u @ v
+        res = qr(A, b=5)
+        # R must be rank-1 too: rows 1.. of R essentially zero
+        assert np.max(np.abs(res.R[1:, :])) < 1e-12 * np.max(np.abs(A))
+
+    def test_identity(self):
+        res = qr(np.eye(12, 6), b=3, config=HQRConfig(p=2, a=2))
+        assert res.reconstruction_error(np.eye(12, 6)) < 1e-13

@@ -1,0 +1,92 @@
+"""Implicit Q application and least-squares solve."""
+
+import numpy as np
+import pytest
+
+from repro import HQRConfig, qr
+
+
+class TestApplyQ:
+    def test_qt_then_q_roundtrip(self, rng):
+        A = rng.standard_normal((30, 12))
+        res = qr(A, b=6, config=HQRConfig(p=2, a=2))
+        C = rng.standard_normal((30, 4))
+        back = res.apply_q(res.apply_q(C, trans=True), trans=False)
+        np.testing.assert_allclose(back, C, atol=1e-12)
+
+    def test_matches_explicit_q(self, rng):
+        A = rng.standard_normal((24, 12))
+        res = qr(A, b=6, config=HQRConfig(p=3, a=1, low_tree="binary"))
+        C = rng.standard_normal((24, 3))
+        implicit = res.apply_q(C, trans=True)[:12]
+        explicit = res.Q.T @ C
+        np.testing.assert_allclose(implicit, explicit, atol=1e-12)
+
+    def test_qt_of_a_is_r(self, rng):
+        """Q^T A == R — the factorization replayed on A itself."""
+        A = rng.standard_normal((24, 12))
+        res = qr(A, b=6, config=HQRConfig(p=2, a=2))
+        qta = res.apply_q(A, trans=True)
+        np.testing.assert_allclose(qta[:12], res.R[:12], atol=1e-11)
+        np.testing.assert_allclose(qta[12:], 0, atol=1e-11)
+
+    def test_vector_in_vector_out(self, rng):
+        A = rng.standard_normal((20, 10))
+        res = qr(A, b=5)
+        y = res.apply_q(rng.standard_normal(20))
+        assert y.shape == (20,)
+
+    def test_padded_rows(self, rng):
+        A = rng.standard_normal((23, 12))  # padded to 24
+        res = qr(A, b=6, config=HQRConfig(p=2, a=2))
+        C = rng.standard_normal((23, 2))
+        back = res.apply_q(res.apply_q(C), trans=False)
+        np.testing.assert_allclose(back, C, atol=1e-12)
+
+    def test_norm_preservation(self, rng):
+        A = rng.standard_normal((20, 10))
+        res = qr(A, b=5)
+        C = rng.standard_normal((20, 5))
+        assert np.linalg.norm(res.apply_q(C)) == pytest.approx(np.linalg.norm(C))
+
+    def test_rejects_wrong_rows(self, rng):
+        res = qr(rng.standard_normal((20, 10)), b=5)
+        with pytest.raises(ValueError):
+            res.apply_q(np.zeros((19, 2)))
+
+
+class TestSolve:
+    def test_matches_lstsq(self, rng):
+        A = rng.standard_normal((50, 20))
+        x_true = rng.standard_normal(20)
+        rhs = A @ x_true + 0.01 * rng.standard_normal(50)
+        res = qr(A, b=10, config=HQRConfig(p=3, a=2))
+        x = res.solve(rhs)
+        ref = np.linalg.lstsq(A, rhs, rcond=None)[0]
+        np.testing.assert_allclose(x, ref, atol=1e-10)
+
+    def test_exact_system(self, rng):
+        A = rng.standard_normal((16, 16))
+        rhs = rng.standard_normal(16)
+        res = qr(A, b=4, config=HQRConfig(p=2, a=2))
+        np.testing.assert_allclose(A @ res.solve(rhs), rhs, atol=1e-10)
+
+    def test_multiple_rhs(self, rng):
+        A = rng.standard_normal((30, 10))
+        B = rng.standard_normal((30, 3))
+        res = qr(A, b=5)
+        X = res.solve(B)
+        ref = np.linalg.lstsq(A, B, rcond=None)[0]
+        np.testing.assert_allclose(X, ref, atol=1e-10)
+
+    def test_ragged_shape(self, rng):
+        A = rng.standard_normal((29, 11))
+        rhs = rng.standard_normal(29)
+        res = qr(A, b=6, config=HQRConfig(p=2, a=2))
+        ref = np.linalg.lstsq(A, rhs, rcond=None)[0]
+        np.testing.assert_allclose(res.solve(rhs), ref, atol=1e-9)
+
+    def test_rejects_wide(self, rng):
+        res = qr(rng.standard_normal((10, 20)), b=5)
+        with pytest.raises(ValueError):
+            res.solve(np.zeros(10))

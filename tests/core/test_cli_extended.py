@@ -1,0 +1,63 @@
+"""Extended CLI commands."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestExplore:
+    def test_prints_ranking(self, capsys):
+        assert main(["explore", "--m", "24", "--n", "8", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "model ranking" in out
+        assert out.count("GF/s") == 3
+
+    def test_verify_flag(self, capsys):
+        assert main(["explore", "--m", "16", "--n", "4", "--top", "2",
+                     "--verify"]) == 0
+        assert "simulator verification" in capsys.readouterr().out
+
+
+class TestGantt:
+    def test_prints_timeline(self, capsys):
+        rc = main(["gantt", "--m", "24", "--n", "4", "--p", "15", "--q", "4",
+                   "--width", "40", "--nodes", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "node " in out
+        assert "imbalance" in out
+
+
+class TestExportReplay:
+    def test_export_stdout(self, capsys):
+        assert main(["export", "--m", "6", "--n", "2", "--p", "2"]) == 0
+        out = capsys.readouterr().out
+        assert '"kind":"elimination-list"' in out
+
+    def test_export_then_replay(self, tmp_path, capsys):
+        path = tmp_path / "elims.json"
+        assert main(["export", "--m", "8", "--n", "3", "--p", "2",
+                     "--out", str(path)]) == 0
+        assert main(["replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "valid elimination list for 8 x 3 tiles" in out
+        assert "coarse steps" in out
+
+    def test_replay_rejects_corrupt(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"kind": "elimination-list", "schema": 1, '
+                        '"m": 3, "n": 1, "config": null, '
+                        '"eliminations": [[0, 1, 0, 0]]}')
+        with pytest.raises(Exception):
+            main(["replay", str(path)])
+
+
+class TestAuto:
+    def test_rules(self, capsys):
+        assert main(["auto", "--m", "512", "--n", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "domino" in out and "rules" in out
+
+    def test_tuned(self, capsys):
+        assert main(["auto", "--m", "32", "--n", "8", "--tuned"]) == 0
+        assert "refinement" in capsys.readouterr().out

@@ -1,0 +1,34 @@
+"""Large-matrix validation (``pytest --slow``)."""
+
+import numpy as np
+import pytest
+
+from repro import HQRConfig, qr
+
+pytestmark = pytest.mark.slow
+
+
+class TestLargeScale:
+    def test_2000_by_1000_hqr(self, rng):
+        A = rng.standard_normal((2000, 1000))
+        cfg = HQRConfig(p=5, a=4, low_tree="greedy", high_tree="fibonacci")
+        res = qr(A, b=100, config=cfg, threads=8)
+        assert res.orthogonality_error() < 1e-12
+        assert res.reconstruction_error(A) < 1e-12
+
+    def test_very_tall_skinny(self, rng):
+        A = rng.standard_normal((5000, 100))
+        res = qr(A, b=100, config=HQRConfig(p=10, a=5))
+        assert res.orthogonality_error() < 1e-12
+        x = res.solve(A @ np.ones(100))
+        np.testing.assert_allclose(x, 1.0, atol=1e-9)
+
+    def test_large_simulation_paper_extreme(self):
+        """The paper's largest point: 1024 x 16 tiles (M = 286,720)."""
+        from repro.bench.figures import hqr_figure8_config
+        from repro.bench.runner import BenchSetup, run_config
+
+        setup = BenchSetup()
+        res = run_config(1024, 16, hqr_figure8_config(setup), setup)
+        pct = res.percent_of_peak(setup.machine)
+        assert 45 < pct < 70  # paper: 57.5%

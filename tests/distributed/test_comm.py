@@ -1,0 +1,82 @@
+"""Communication counting vs the paper's §III-A walkthrough."""
+
+import pytest
+
+from repro.distributed import count_messages, kill_messages_per_panel
+from repro.hqr import HQRConfig, hqr_elimination_list
+from repro.tiles.layout import Block1D, BlockCyclic2D, Cyclic1D, SingleNode
+from repro.trees import FlatTree, panel_elimination_list
+from repro.trees.base import Elimination
+
+
+def flat_panel(m):
+    """Natural-order flat tree over panel 0 of m rows."""
+    return panel_elimination_list(m, 1, FlatTree())
+
+
+class TestPaperWalkthrough:
+    """§III-A: m=12 rows, p=3 clusters."""
+
+    def test_block_flat_needs_p_minus_1_messages(self):
+        """Block/flat: the killer travels once from each cluster to the
+        next — p-1 transfers for the kills (the paper counts p including
+        storing the result back)."""
+        counts = kill_messages_per_panel(flat_panel(12), Block1D(3, 12))
+        assert counts[0] == 2  # p - 1
+
+    def test_cyclic_flat_natural_order_needs_m_minus_1(self):
+        """Cyclic/flat in natural order: one transfer per elimination."""
+        counts = kill_messages_per_panel(flat_panel(12), Cyclic1D(3))
+        assert counts[0] == 11  # m - 1
+
+    def test_reordered_cyclic_flat_recovers_p_messages(self):
+        """§III-A observation 1: reorder eliminations (3,6,9 then 1,4,7,10
+        then 2,5,8,11) and the cyclic layout needs only p-1 transfers."""
+        order = [3, 6, 9, 1, 4, 7, 10, 2, 5, 8, 11]
+        elims = [Elimination(panel=0, victim=v, killer=0) for v in order]
+        counts = kill_messages_per_panel(elims, Cyclic1D(3))
+        assert counts[0] == 2
+
+    def test_single_node_never_communicates(self):
+        stats = count_messages(flat_panel(12), SingleNode(), 1)
+        assert stats.total == 0
+
+
+class TestHQRCommunication:
+    def test_hqr_kills_cross_nodes_only_at_high_level(self):
+        """With the virtual grid matching the layout, only the p-1
+        high-level eliminations per panel move data across nodes."""
+        m, n, p = 24, 4, 3
+        cfg = HQRConfig(p=p, a=2, low_tree="greedy", high_tree="binary")
+        elims = hqr_elimination_list(m, n, cfg)
+        counts = kill_messages_per_panel(elims, Cyclic1D(p))
+        for k in range(n):
+            assert counts[k] == p - 1
+
+    def test_hqr_beats_natural_flat_on_cyclic(self):
+        m, n, p = 24, 4, 3
+        cfg = HQRConfig(p=p, a=2)
+        lay = Cyclic1D(p)
+        hqr = count_messages(hqr_elimination_list(m, n, cfg), lay, n)
+        flat = count_messages(panel_elimination_list(m, n, FlatTree()), lay, n)
+        assert hqr.kill_messages < flat.kill_messages
+
+    def test_2d_layout_update_messages(self):
+        """Under a p x q grid, update pairs cross nodes exactly when the
+        two rows differ mod p (columns co-rotate)."""
+        m, n, p, q = 12, 6, 3, 2
+        cfg = HQRConfig(p=p, a=2)
+        elims = hqr_elimination_list(m, n, cfg)
+        stats = count_messages(elims, BlockCyclic2D(p, q), n)
+        expected = sum(
+            (n - e.panel - 1)
+            for e in elims
+            if e.victim % p != e.killer % p
+        )
+        assert stats.update_messages == expected
+
+    def test_stats_total(self):
+        elims = flat_panel(6)
+        stats = count_messages(elims, Cyclic1D(2), 1)
+        assert stats.total == stats.kill_messages + stats.update_messages
+        assert stats.update_messages == 0  # single panel, no trailing cols

@@ -1,0 +1,66 @@
+"""Automatic configuration selection."""
+
+import pytest
+
+from repro.hqr.auto import auto_config, auto_config_tuned
+
+
+class TestRules:
+    def test_tall_skinny_settings(self):
+        cfg = auto_config(1024, 16, grid_p=15, grid_q=4)
+        assert cfg.domino            # decouple the local pipeline
+        assert cfg.high_tree == "fibonacci"
+        assert cfg.a == 4            # plenty of local rows
+
+    def test_square_settings(self):
+        cfg = auto_config(240, 240, grid_p=15, grid_q=4)
+        assert not cfg.domino
+        assert cfg.high_tree == "flat"  # fewest inter-node messages
+
+    def test_small_matrix_keeps_parallelism(self):
+        cfg = auto_config(16, 16, grid_p=15, grid_q=4)
+        assert cfg.a == 1
+
+    def test_grid_propagated(self):
+        cfg = auto_config(64, 8, grid_p=5, grid_q=2)
+        assert (cfg.p, cfg.q) == (5, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            auto_config(0, 4, grid_p=2, grid_q=1)
+
+
+class TestAutoQuality:
+    @pytest.mark.parametrize("m,n", [(256, 16), (64, 64), (128, 32)])
+    def test_auto_close_to_best_simulated(self, m, n):
+        """auto_config (paper-derived rules) lands within 20% of the best
+        simulated config from a representative candidate set.  The band is
+        not tighter because the simulator's a/domino crossover sits one
+        sweep point later than the paper's measurements, and the rules
+        follow the paper."""
+        from repro.bench.runner import BenchSetup, run_config
+        from repro.hqr.config import HQRConfig
+
+        setup = BenchSetup()
+        auto = auto_config(m, n, grid_p=15, grid_q=4)
+        auto_gf = run_config(m, n, auto, setup).gflops
+        candidates = [
+            HQRConfig(p=15, q=4, a=a, low_tree=low, high_tree=high, domino=dom)
+            for a in (1, 4)
+            for low in ("greedy", "flat")
+            for high in ("flat", "fibonacci")
+            for dom in (True, False)
+        ]
+        best = max(run_config(m, n, c, setup).gflops for c in candidates)
+        assert auto_gf > 0.80 * best
+
+    def test_tuned_no_worse_than_rules(self):
+        from repro.bench.runner import BenchSetup, run_config
+
+        setup = BenchSetup()
+        m, n = 128, 16
+        rules = auto_config(m, n, grid_p=15, grid_q=4)
+        tuned = auto_config_tuned(m, n, grid_p=15, grid_q=4)
+        gf_rules = run_config(m, n, rules, setup).gflops
+        gf_tuned = run_config(m, n, tuned, setup).gflops
+        assert gf_tuned >= 0.95 * gf_rules

@@ -1,0 +1,57 @@
+"""HQRConfig validation and named configurations."""
+
+import pytest
+
+from repro.hqr import HQRConfig
+from repro.trees import BinaryTree, FibonacciTree
+
+
+class TestValidation:
+    def test_defaults(self):
+        cfg = HQRConfig()
+        assert (cfg.p, cfg.q, cfg.a) == (1, 1, 1)
+        assert cfg.domino
+
+    def test_rejects_bad_grid(self):
+        with pytest.raises(ValueError):
+            HQRConfig(p=0)
+        with pytest.raises(ValueError):
+            HQRConfig(q=-1)
+
+    def test_rejects_bad_domain(self):
+        with pytest.raises(ValueError):
+            HQRConfig(a=0)
+
+    def test_rejects_unknown_tree(self):
+        with pytest.raises(ValueError):
+            HQRConfig(low_tree="ternary")
+
+    def test_tree_instantiation(self):
+        cfg = HQRConfig(low_tree="binary", high_tree="fibonacci")
+        assert isinstance(cfg.low, BinaryTree)
+        assert isinstance(cfg.high, FibonacciTree)
+
+    def test_with_(self):
+        cfg = HQRConfig(p=3).with_(a=4)
+        assert (cfg.p, cfg.a) == (3, 4)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            HQRConfig().p = 5
+
+
+class TestNamedConfigs:
+    def test_slhd10_parameterization(self):
+        """§IV-A: p=1, a=m/r (here ceil), low binary, no coupling/high."""
+        cfg = HQRConfig.slhd10(r=4, m=16)
+        assert cfg.p == 1
+        assert cfg.a == 4
+        assert cfg.low_tree == "binary"
+        assert not cfg.domino
+
+    def test_slhd10_rounds_up(self):
+        assert HQRConfig.slhd10(r=4, m=18).a == 5
+
+    def test_bbd10_is_single_flat_domain(self):
+        cfg = HQRConfig.bbd10()
+        assert cfg.p == 1 and cfg.low_tree == "flat" and cfg.a >= 10**6

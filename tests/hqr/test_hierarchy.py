@@ -1,0 +1,146 @@
+"""HQRTree: elimination-list structure of the four levels."""
+
+import pytest
+
+from repro.hqr import HQRConfig, HQRTree, check_elimination_list, hqr_elimination_list
+from repro.hqr.levels import tile_level
+
+
+class TestBasics:
+    def test_every_subdiagonal_tile_eliminated_once(self):
+        m, n = 12, 5
+        tree = HQRTree(m, n, HQRConfig(p=3, a=2))
+        victims = [(e.victim, e.panel) for e in tree.elimination_list()]
+        expected = [(i, k) for k in range(n) for i in range(k + 1, m)]
+        assert sorted(victims) == sorted(expected)
+
+    def test_killer_oracle_consistent_with_list(self):
+        tree = HQRTree(10, 4, HQRConfig(p=2, a=2, low_tree="binary"))
+        lookup = {(e.victim, e.panel): e.killer for e in tree.elimination_list()}
+        for (i, k), killer in lookup.items():
+            assert tree.killer(i, k) == killer
+
+    def test_killer_oracle_bounds(self):
+        tree = HQRTree(6, 3, HQRConfig())
+        with pytest.raises(ValueError):
+            tree.killer(2, 2)  # i == k
+        with pytest.raises(ValueError):
+            tree.killer(6, 0)  # i >= m
+
+    def test_panels_property(self):
+        assert HQRTree(8, 3, HQRConfig()).panels == 3
+        assert HQRTree(4, 8, HQRConfig()).panels == 3  # min(n, m-1)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            HQRTree(0, 3, HQRConfig())
+        with pytest.raises(ValueError):
+            HQRTree(5, 3, HQRConfig()).panel_eliminations(3)
+
+
+class TestLevelStructure:
+    def test_ts_kills_match_level0_classification(self):
+        m, n, p, a = 24, 10, 3, 2
+        cfg = HQRConfig(p=p, a=a, low_tree="greedy", high_tree="binary")
+        for e in hqr_elimination_list(m, n, cfg):
+            level = tile_level(e.victim, e.panel, m, p, a, domino=True)
+            if e.ts:
+                assert level == 0
+            else:
+                assert level in (1, 2, 3)
+
+    def test_ts_killer_is_domain_leader_above(self):
+        """Level-0 victims die by the acting leader of their own domain,
+        within the same cluster (§IV-A: 'every a-th tile sequentially kills
+        the a-1 tiles below it')."""
+        m, n, p, a = 24, 6, 3, 2
+        cfg = HQRConfig(p=p, a=a)
+        for e in hqr_elimination_list(m, n, cfg):
+            if e.ts:
+                assert e.victim % p == e.killer % p  # same cluster
+                assert e.killer < e.victim
+                # same fixed domain in the local view
+                assert (e.victim // p) // a == (e.killer // p) // a
+
+    def test_level3_rows_reduce_to_diagonal(self):
+        """High-level tree reduces rows k..k+p-1 down to row k."""
+        m, n, p = 20, 6, 4
+        tree = HQRTree(m, n, HQRConfig(p=p, a=2))
+        for k in range(tree.panels):
+            panel = tree.panel_eliminations(k)
+            tops = set(range(k, min(k + p, m)))
+            inter = [e for e in panel if e.victim in tops]
+            # every top tile except row k is killed within the top set
+            assert sorted(e.victim for e in inter) == sorted(tops - {k})
+            for e in inter:
+                assert e.killer in tops
+
+    def test_domino_kills_by_top_tile(self):
+        """Level-2 victims die by their cluster's top tile, top-down."""
+        m, n, p, a = 24, 10, 3, 2
+        tree = HQRTree(m, n, HQRConfig(p=p, a=a, domino=True))
+        for k in range(tree.panels):
+            tops = {r: None for r in range(p)}
+            for e in tree.panel_eliminations(k):
+                lvl = tile_level(e.victim, e.panel, m, p, a, domino=True)
+                if lvl == 2:
+                    r = e.victim % p
+                    # killer is the top tile of the victim's cluster
+                    kl = e.killer
+                    assert kl % p == r
+                    assert tile_level(kl, k, m, p, a, domino=True) == 3
+
+    def test_paper_domino_example(self):
+        """§IV-B: elim(4, 1, 1) — tile (4,1) killed by top tile (1,1)."""
+        tree = HQRTree(24, 10, HQRConfig(p=3, a=2, domino=True))
+        killers = {e.victim: e.killer for e in tree.panel_eliminations(1)}
+        assert killers[4] == 1
+        assert killers[5] == 2  # elim(5, 2, 1) of the same paragraph
+
+
+class TestEquivalences:
+    def test_p1_a1_low_flat_equals_plain_flat_tree(self):
+        """HQR degenerates to the [BBD+10]-style flat tree (TT kernels)."""
+        from repro.trees import FlatTree, panel_elimination_list
+
+        m, n = 9, 4
+        cfg = HQRConfig(p=1, a=1, low_tree="flat", domino=False)
+        got = [(e.victim, e.killer, e.panel) for e in hqr_elimination_list(m, n, cfg)]
+        want = [
+            (e.victim, e.killer, e.panel)
+            for e in panel_elimination_list(m, n, FlatTree(), ts=False)
+        ]
+        assert got == want
+
+    def test_full_ts_domain_uses_only_ts_kernels_on_p1(self):
+        cfg = HQRConfig(p=1, a=100, low_tree="flat", domino=False)
+        elims = hqr_elimination_list(10, 3, cfg)
+        assert all(e.ts for e in elims)
+
+    def test_domino_on_off_same_victims(self):
+        m, n = 18, 6
+        on = hqr_elimination_list(m, n, HQRConfig(p=3, a=2, domino=True))
+        off = hqr_elimination_list(m, n, HQRConfig(p=3, a=2, domino=False))
+        assert sorted((e.victim, e.panel) for e in on) == sorted(
+            (e.victim, e.panel) for e in off
+        )
+        assert len(on) == len(off)
+
+    def test_caching_returns_same_object(self):
+        tree = HQRTree(8, 3, HQRConfig())
+        assert tree.panel_eliminations(1) is tree.panel_eliminations(1)
+
+
+class TestValidityAcrossShapes:
+    @pytest.mark.parametrize("m,n", [(2, 1), (5, 5), (7, 3), (3, 7), (40, 6), (13, 13)])
+    @pytest.mark.parametrize("p,a", [(1, 1), (2, 2), (3, 2), (5, 3), (7, 10)])
+    def test_valid(self, m, n, p, a):
+        for domino in (True, False):
+            cfg = HQRConfig(
+                p=p, a=a, low_tree="greedy", high_tree="fibonacci", domino=domino
+            )
+            check_elimination_list(hqr_elimination_list(m, n, cfg), m, n)
+
+    def test_p_larger_than_m(self):
+        cfg = HQRConfig(p=10, a=2)
+        check_elimination_list(hqr_elimination_list(4, 3, cfg), 4, 3)

@@ -1,0 +1,94 @@
+"""HQR edge cases and regression guards."""
+
+import pytest
+
+from repro.hqr import HQRConfig, HQRTree, check_elimination_list, hqr_elimination_list
+from repro.hqr.levels import tile_level, top_local_row
+
+
+class TestDegenerateShapes:
+    def test_one_by_one(self):
+        assert hqr_elimination_list(1, 1, HQRConfig(p=3, a=2)) == []
+
+    def test_single_column(self):
+        elims = hqr_elimination_list(7, 1, HQRConfig(p=2, a=2))
+        check_elimination_list(elims, 7, 1)
+        assert len(elims) == 6
+
+    def test_single_row_wide(self):
+        assert hqr_elimination_list(1, 9, HQRConfig(p=2)) == []
+
+    def test_two_rows(self):
+        elims = hqr_elimination_list(2, 2, HQRConfig(p=2, a=2))
+        assert len(elims) == 1
+        assert (elims[0].victim, elims[0].killer) == (1, 0)
+
+    def test_p_equal_m(self):
+        cfg = HQRConfig(p=6, a=3)
+        check_elimination_list(hqr_elimination_list(6, 4, cfg), 6, 4)
+
+    def test_huge_a_equivalent_to_full_ts(self):
+        a_big = hqr_elimination_list(9, 3, HQRConfig(p=1, a=10**6, low_tree="flat", domino=False))
+        a_m = hqr_elimination_list(9, 3, HQRConfig(p=1, a=9, low_tree="flat", domino=False))
+        assert a_big == a_m
+
+
+class TestDominoChain:
+    def test_domino_victims_in_descending_local_order(self):
+        """The domino kills ripple top-down: victims of one cluster-panel
+        pair appear in increasing local-row order."""
+        m, n, p = 30, 10, 3
+        tree = HQRTree(m, n, HQRConfig(p=p, a=2, domino=True))
+        for k in range(tree.panels):
+            per_cluster: dict[int, list[int]] = {}
+            for e in tree.panel_eliminations(k):
+                lvl = tile_level(e.victim, k, m, p, 2, domino=True)
+                if lvl == 2:
+                    per_cluster.setdefault(e.victim % p, []).append(e.victim // p)
+            for locs in per_cluster.values():
+                assert locs == sorted(locs)
+
+    def test_domino_count_matches_level2_census(self):
+        from repro.hqr.stats import level_census
+
+        m, n, p, a = 24, 10, 3, 2
+        census = level_census(m, n, p, a, domino=True)
+        tree = HQRTree(m, n, HQRConfig(p=p, a=a, domino=True))
+        domino_kills = sum(
+            1
+            for k in range(tree.panels)
+            for e in tree.panel_eliminations(k)
+            if tile_level(e.victim, e.panel, m, p, a, domino=True) == 2
+        )
+        # every level-2 tile is killed by the domino EXCEPT diagonal tiles
+        # (level 3) — level-2 census counts exactly the domino victims
+        assert domino_kills == census[2]
+
+
+class TestTopLocalRowProperties:
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+    def test_top_rows_are_first_p_diagonals(self, p):
+        m = 40
+        for k in range(10):
+            tops = sorted(
+                top_local_row(k, r, p) * p + r
+                for r in range(p)
+            )
+            assert tops == list(range(k, k + p))
+
+    def test_panel_zero_tops_are_first_rows(self):
+        assert [top_local_row(0, r, 4) for r in range(4)] == [0, 0, 0, 0]
+
+
+class TestConfigEquality:
+    def test_frozen_hashable(self):
+        a = HQRConfig(p=3, a=2)
+        b = HQRConfig(p=3, a=2)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_distinct_configs_distinct_lists(self):
+        l1 = hqr_elimination_list(12, 4, HQRConfig(p=2, a=1, low_tree="flat"))
+        l2 = hqr_elimination_list(12, 4, HQRConfig(p=2, a=1, low_tree="binary"))
+        assert l1 != l2

@@ -1,0 +1,116 @@
+"""Tile level classification — the Figure 5 example and its §IV-B anchors."""
+
+import pytest
+
+from repro.hqr.levels import (
+    format_level_grid,
+    level_grid,
+    local_view,
+    tile_level,
+    top_local_row,
+)
+
+# Figure 5 parameters: m=24, n=10, p=3 (q=1), a=2, domino on.
+M, N, P, A = 24, 10, 3, 2
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return level_grid(M, N, P, A, domino=True)
+
+
+class TestTopLocalRow:
+    def test_panel_zero(self):
+        assert all(top_local_row(0, r, P) == 0 for r in range(P))
+
+    def test_top_tiles_cover_first_p_diagonals(self):
+        """§IV-B: the p top tiles sit on rows k .. k+p-1."""
+        for k in range(8):
+            tops = sorted(top_local_row(k, r, P) * P + r for r in range(P))
+            assert tops == [k, k + 1, k + 2]
+
+
+class TestPaperAnchors:
+    def test_tile_4_1_is_level_2(self, grid):
+        """§IV-B: 'the first level 2 tile, in position (4, 1)'."""
+        assert grid[4][1] == 2
+
+    def test_tile_5_1_is_level_2(self, grid):
+        """§IV-B: 'the killing of level 2 tile (5, 1)'."""
+        assert grid[5][1] == 2
+
+    def test_tile_6_2_is_local_diagonal(self, grid):
+        """§IV-B: tile (6,2) is the local diagonal of P0 for panel 2 —
+        included in the level-2 (domino) region."""
+        assert grid[6][2] == 2
+
+    def test_diagonal_tiles_are_level_3(self, grid):
+        for k in range(N):
+            assert grid[k][k] == 3
+
+    def test_level0_proportion_tends_to_half_for_tall_skinny(self):
+        """§IV-B: with a=2 the proportion of level-0 tiles tends to 1/2."""
+        g = level_grid(300, 4, P, 2, domino=True)
+        labels = [g[i][k] for k in range(4) for i in range(k, 300)]
+        frac = labels.count(0) / len(labels)
+        assert 0.45 < frac < 0.52
+
+    def test_level0_much_rarer_for_square(self, grid):
+        labels = [grid[i][k] for k in range(N) for i in range(k, M)]
+        assert labels.count(0) / len(labels) < 0.3
+
+
+class TestStructure:
+    def test_levels_in_range(self, grid):
+        for k in range(N):
+            for i in range(M):
+                if i >= k:
+                    assert grid[i][k] in (0, 1, 2, 3)
+                else:
+                    assert grid[i][k] is None
+
+    def test_exactly_p_level3_tiles_per_panel(self, grid):
+        for k in range(N):
+            col = [grid[i][k] for i in range(k, M)]
+            assert col.count(3) == min(P, M - k)
+
+    def test_level0_tiles_have_odd_local_index(self, grid):
+        """a=2, domino on: TS victims are the odd local rows below the
+        local diagonal (the paper's 'every second tile')."""
+        for k in range(N):
+            for i in range(k, M):
+                if grid[i][k] == 0:
+                    L = i // P
+                    assert L > k  # strictly below the local diagonal
+                    assert L % 2 == 1
+
+    def test_no_domino_reassigns_level2_to_low_tree(self):
+        g = level_grid(M, N, P, A, domino=False)
+        flat = [g[i][k] for k in range(N) for i in range(k, M)]
+        assert 2 not in flat
+
+    def test_p1_has_no_level2_or_level3_beyond_diagonal(self):
+        """p=1: coupling and high levels are irrelevant (§IV-A)."""
+        g = level_grid(12, 4, 1, 2, domino=True)
+        for k in range(4):
+            col = [g[i][k] for i in range(k, 12)]
+            assert col.count(3) == 1  # only the diagonal tile
+            assert col.count(2) == 0  # local diagonal == top tile
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            tile_level(2, 3, 10, 2, 1)  # i < k
+        with pytest.raises(ValueError):
+            tile_level(10, 0, 10, 2, 1)  # i >= m
+
+
+class TestViews:
+    def test_local_view_stacks_cluster_rows(self, grid):
+        lv = local_view(grid, P, 0)
+        assert len(lv) == 8  # 24 / 3
+        assert lv[2] is grid[6]
+
+    def test_format_renders(self, grid):
+        text = format_level_grid(grid)
+        assert text.splitlines()[0].startswith("3 .")
+        assert len(text.splitlines()) == M

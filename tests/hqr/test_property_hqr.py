@@ -1,0 +1,53 @@
+"""Property-based HQR tests: any configuration yields a valid tree."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hqr import HQRConfig, check_elimination_list, hqr_elimination_list
+from repro.hqr.levels import tile_level
+
+settings.register_profile("hqr", max_examples=80, deadline=None)
+settings.load_profile("hqr")
+
+configs = st.builds(
+    HQRConfig,
+    p=st.integers(1, 8),
+    q=st.integers(1, 4),
+    a=st.integers(1, 8),
+    low_tree=st.sampled_from(["flat", "binary", "greedy", "fibonacci"]),
+    high_tree=st.sampled_from(["flat", "binary", "greedy", "fibonacci"]),
+    domino=st.booleans(),
+)
+
+
+@given(m=st.integers(1, 30), n=st.integers(1, 30), cfg=configs)
+def test_hqr_list_always_valid(m, n, cfg):
+    elims = hqr_elimination_list(m, n, cfg)
+    check_elimination_list(elims, m, n)
+
+
+@given(m=st.integers(2, 30), n=st.integers(1, 30), cfg=configs)
+def test_elimination_count_exact(m, n, cfg):
+    panels = min(n, m - 1)
+    expected = sum(m - k - 1 for k in range(panels))
+    assert len(hqr_elimination_list(m, n, cfg)) == expected
+
+
+@given(m=st.integers(2, 24), n=st.integers(1, 12), cfg=configs)
+def test_levels_partition_matches_list_kinds(m, n, cfg):
+    """TS flag on an elimination implies its victim is a level-0 tile."""
+    for e in hqr_elimination_list(m, n, cfg):
+        lvl = tile_level(e.victim, e.panel, m, cfg.p, cfg.a, domino=cfg.domino)
+        if e.ts:
+            assert lvl == 0
+
+
+@given(m=st.integers(2, 24), n=st.integers(1, 12), cfg=configs)
+def test_intra_cluster_kills_stay_in_cluster(m, n, cfg):
+    """Only high-level eliminations may cross virtual clusters."""
+    p = cfg.p
+    for e in hqr_elimination_list(m, n, cfg):
+        if e.victim % p != e.killer % p:
+            # cross-cluster: both rows must be top tiles (first p diagonals)
+            assert e.panel <= e.victim < e.panel + p
+            assert e.panel <= e.killer < e.panel + p

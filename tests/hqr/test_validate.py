@@ -1,0 +1,87 @@
+"""Elimination-list validity checker (§II conditions)."""
+
+import pytest
+
+from repro.hqr import ValidationError, check_elimination_list
+from repro.trees.base import Elimination
+
+
+def E(panel, victim, killer, ts=False):
+    return Elimination(panel=panel, victim=victim, killer=killer, ts=ts)
+
+
+class TestEliminationRecord:
+    def test_rejects_self_kill(self):
+        with pytest.raises(ValueError):
+            E(0, 1, 1)
+
+    def test_rejects_victim_on_diagonal(self):
+        with pytest.raises(ValueError):
+            E(1, 1, 0)
+
+    def test_rejects_killer_above_diagonal(self):
+        with pytest.raises(ValueError):
+            E(1, 2, 0)
+
+    def test_str(self):
+        assert "TS" in str(E(0, 1, 0, ts=True))
+
+
+class TestChecker:
+    def test_accepts_minimal_valid(self):
+        check_elimination_list([E(0, 1, 0)], 2, 1)
+
+    def test_condition1_readiness(self):
+        # row 2 enters panel 1 without being zeroed in panel 0
+        elims = [E(0, 1, 0), E(1, 2, 1)]
+        with pytest.raises(ValidationError, match="condition 1"):
+            check_elimination_list(elims, 3, 2)
+
+    def test_condition2_dead_killer(self):
+        # row 1 killed, then used as a killer
+        elims = [E(0, 1, 0), E(0, 2, 1)]
+        with pytest.raises(ValidationError, match="annihilator"):
+            check_elimination_list(elims, 3, 1)
+
+    def test_condition3_missing_tile(self):
+        with pytest.raises(ValidationError, match="never zeroed"):
+            check_elimination_list([E(0, 1, 0)], 3, 1)
+
+    def test_double_kill_rejected(self):
+        elims = [E(0, 1, 0), E(0, 1, 2)]
+        with pytest.raises(ValidationError):
+            check_elimination_list(elims, 3, 1)
+
+    def test_ts_on_triangle_rejected(self):
+        # row 2 TT-kills row 3 (triangularizing 2), then row 2 is TS-killed:
+        # TS requires a square victim
+        elims = [E(0, 3, 2), E(0, 2, 0, ts=True), E(0, 1, 0)]
+        with pytest.raises(ValidationError, match="TS kill"):
+            check_elimination_list(elims, 4, 1)
+
+    def test_tt_on_square_auto_triangularizes(self):
+        elims = [E(0, 1, 0, ts=False)]
+        check_elimination_list(elims, 2, 1)
+
+    def test_out_of_bounds_entry(self):
+        with pytest.raises(ValidationError, match="out of bounds"):
+            check_elimination_list([E(0, 5, 0)], 3, 1)
+        with pytest.raises(ValidationError, match="out of bounds"):
+            check_elimination_list([E(2, 3, 2)], 4, 2)
+
+    def test_panel_order_can_interleave(self):
+        """Panels may interleave if per-row column order is respected."""
+        elims = [
+            E(0, 2, 0),
+            E(0, 1, 0),
+            E(1, 2, 1),  # rows 1, 2 both done with panel 0
+            E(0, 3, 0),
+            E(1, 3, 2),  # wait: killer 2 already dead in panel 1
+        ]
+        with pytest.raises(ValidationError):
+            check_elimination_list(elims, 4, 2)
+        elims[-1] = E(1, 3, 1)
+        check_elimination_list(elims, 4, 2)
+
+    def test_empty_list_on_1x1(self):
+        check_elimination_list([], 1, 1)

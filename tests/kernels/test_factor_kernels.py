@@ -1,0 +1,174 @@
+"""GEQRT / TSQRT / TTQRT: structure, orthogonality, reconstruction."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.kernels import geqrt, tsqrt, ttqrt, unmqr
+
+
+def q_of(ref, rows):
+    """Materialize the dense Q of a BlockReflector."""
+    Q = np.eye(rows)
+    unmqr(ref, Q, trans=False)
+    return Q
+
+
+class TestGeqrt:
+    @pytest.mark.parametrize("shape", [(6, 6), (9, 5), (5, 9), (1, 1), (7, 1), (1, 7)])
+    def test_reconstruction(self, rng, shape):
+        A = rng.standard_normal(shape)
+        A0 = A.copy()
+        ref = geqrt(A)
+        Q = q_of(ref, shape[0])
+        np.testing.assert_allclose(Q @ A, A0, atol=1e-13)
+
+    def test_r_upper_trapezoidal(self, rng):
+        A = rng.standard_normal((8, 5))
+        geqrt(A)
+        assert np.allclose(np.tril(A, -1), 0)
+
+    def test_matches_lapack_r_up_to_signs(self, rng):
+        A = rng.standard_normal((8, 5))
+        A0 = A.copy()
+        geqrt(A)
+        Rref = sla.qr(A0, mode="r")[0]
+        np.testing.assert_allclose(np.abs(A[:5]), np.abs(Rref[:5]), atol=1e-12)
+
+    def test_lapack_sign_convention_exact(self, rng):
+        """With the dlarfg convention our R equals LAPACK's R exactly."""
+        A = rng.standard_normal((8, 5))
+        A0 = A.copy()
+        geqrt(A)
+        qr_raw, _, _, info = sla.lapack.dgeqrf(A0)
+        assert info == 0
+        np.testing.assert_allclose(A[:5], np.triu(qr_raw)[:5], atol=1e-12)
+
+    def test_v_unit_lower(self, rng):
+        A = rng.standard_normal((6, 4))
+        ref = geqrt(A)
+        V = ref.V
+        for j in range(4):
+            assert V[j, j] == 1.0
+            assert np.all(V[:j, j] == 0)
+
+    def test_orthogonality(self, rng):
+        ref = geqrt(rng.standard_normal((7, 4)))
+        Q = q_of(ref, 7)
+        np.testing.assert_allclose(Q.T @ Q, np.eye(7), atol=1e-13)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geqrt(np.zeros((0, 3)))
+
+
+class TestTsqrt:
+    @pytest.mark.parametrize("h2", [1, 3, 6, 10])
+    def test_stack_reconstruction(self, rng, h2):
+        b = 6
+        top = rng.standard_normal((b, b))
+        geqrt(top)  # make a triangle
+        bot = rng.standard_normal((h2, b))
+        stack0 = np.vstack([np.triu(top), bot])
+        ref = tsqrt(top, bot)
+        C1, C2 = np.triu(top), bot.copy()
+        ref.apply_pair(C1, C2, trans=False)
+        np.testing.assert_allclose(np.vstack([C1, C2]), stack0, atol=1e-12)
+
+    def test_victim_zeroed(self, rng):
+        b = 5
+        top = rng.standard_normal((b, b))
+        geqrt(top)
+        bot = rng.standard_normal((b, b))
+        tsqrt(top, bot)
+        assert np.max(np.abs(bot)) == 0.0
+
+    def test_r_matches_dense_qr(self, rng):
+        b = 5
+        top = rng.standard_normal((b, b))
+        geqrt(top)
+        bot = rng.standard_normal((b, b))
+        stacked = np.vstack([np.triu(top), bot])
+        tsqrt(top, bot)
+        Rref = sla.qr(stacked, mode="r")[0]
+        np.testing.assert_allclose(np.abs(np.triu(top)), np.abs(Rref[:b]), atol=1e-12)
+
+    def test_killer_taller_than_wide(self, rng):
+        # killer tile with extra rows below its triangle (edge panel)
+        top = rng.standard_normal((6, 4))
+        geqrt(top)
+        bot = rng.standard_normal((5, 4))
+        ref = tsqrt(top, bot)
+        assert ref.k == 4
+        assert np.allclose(bot, 0)
+
+    def test_rejects_column_mismatch(self, rng):
+        top = rng.standard_normal((4, 4))
+        with pytest.raises(ValueError):
+            tsqrt(top, rng.standard_normal((4, 3)))
+
+    def test_rejects_incomplete_triangle(self, rng):
+        with pytest.raises(ValueError, match="incomplete"):
+            tsqrt(rng.standard_normal((3, 5)), rng.standard_normal((4, 5)))
+
+    def test_reflector_marked_ts(self, rng):
+        top = rng.standard_normal((4, 4))
+        geqrt(top)
+        assert not tsqrt(top, rng.standard_normal((4, 4))).triangular_v2
+
+
+class TestTtqrt:
+    def test_stack_reconstruction(self, rng):
+        b = 6
+        t1 = rng.standard_normal((b, b))
+        t2 = rng.standard_normal((b, b))
+        geqrt(t1)
+        geqrt(t2)
+        stack0 = np.vstack([np.triu(t1), np.triu(t2)])
+        ref = ttqrt(t1, t2)
+        C1, C2 = np.triu(t1), t2.copy()
+        ref.apply_pair(C1, C2, trans=False)
+        np.testing.assert_allclose(np.vstack([C1, C2]), stack0, atol=1e-12)
+
+    def test_victim_zeroed(self, rng):
+        b = 5
+        t1, t2 = rng.standard_normal((b, b)), rng.standard_normal((b, b))
+        geqrt(t1)
+        geqrt(t2)
+        ttqrt(t1, t2)
+        assert np.max(np.abs(t2)) == 0.0
+
+    def test_v2_upper_triangular(self, rng):
+        b = 5
+        t1, t2 = rng.standard_normal((b, b)), rng.standard_normal((b, b))
+        geqrt(t1)
+        geqrt(t2)
+        ref = ttqrt(t1, t2)
+        assert ref.triangular_v2
+        assert np.allclose(np.tril(ref.V2, -1), 0)
+
+    def test_r_matches_dense_qr(self, rng):
+        b = 4
+        t1, t2 = rng.standard_normal((b, b)), rng.standard_normal((b, b))
+        geqrt(t1)
+        geqrt(t2)
+        stacked = np.vstack([np.triu(t1), np.triu(t2)])
+        ttqrt(t1, t2)
+        Rref = sla.qr(stacked, mode="r")[0]
+        np.testing.assert_allclose(np.abs(np.triu(t1)), np.abs(Rref[:b]), atol=1e-12)
+
+    def test_same_result_as_tsqrt_on_triangles(self, rng):
+        """TTQRT(R1, R2) == TSQRT(R1, R2) mathematically (R agreement)."""
+        b = 5
+        t1 = rng.standard_normal((b, b))
+        t2 = rng.standard_normal((b, b))
+        geqrt(t1)
+        geqrt(t2)
+        ts1, ts2 = np.triu(t1).copy(), np.triu(t2).copy()
+        ttqrt(t1, t2)
+        tsqrt(ts1, ts2)
+        np.testing.assert_allclose(np.abs(np.triu(t1)), np.abs(np.triu(ts1)), atol=1e-12)
+
+    def test_rejects_short_tiles(self, rng):
+        with pytest.raises(ValueError, match="rows"):
+            ttqrt(rng.standard_normal((3, 5)), rng.standard_normal((5, 5)))

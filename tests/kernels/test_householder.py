@@ -1,0 +1,131 @@
+"""Elementary reflector and compact-WY accumulation."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import larfg
+from repro.kernels.householder import BlockReflector, StackedReflector, update_t
+
+
+class TestLarfg:
+    def test_annihilates_tail(self, rng):
+        x = rng.standard_normal(7)
+        v, tau, beta = larfg(x)
+        H = np.eye(7) - tau * np.outer(v, v)
+        y = H @ x
+        assert abs(y[0] - beta) < 1e-14
+        assert np.max(np.abs(y[1:])) < 1e-13
+
+    def test_preserves_norm(self, rng):
+        x = rng.standard_normal(5)
+        _, _, beta = larfg(x)
+        assert abs(abs(beta) - np.linalg.norm(x)) < 1e-13
+
+    def test_lapack_sign_convention(self):
+        # beta has opposite sign to x[0]
+        v, tau, beta = larfg(np.array([3.0, 4.0]))
+        assert beta == pytest.approx(-5.0)
+
+    def test_reflector_is_orthogonal(self, rng):
+        x = rng.standard_normal(6)
+        v, tau, _ = larfg(x)
+        H = np.eye(6) - tau * np.outer(v, v)
+        np.testing.assert_allclose(H @ H.T, np.eye(6), atol=1e-14)
+
+    def test_zero_tail_is_identity(self):
+        v, tau, beta = larfg(np.array([2.0, 0.0, 0.0]))
+        assert tau == 0.0
+        assert beta == 2.0
+
+    def test_length_one(self):
+        v, tau, beta = larfg(np.array([-3.0]))
+        assert (tau, beta) == (0.0, -3.0)
+        assert v[0] == 1.0
+
+    def test_zero_vector(self):
+        v, tau, beta = larfg(np.zeros(4))
+        assert tau == 0.0 and beta == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            larfg(np.array([]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            larfg(np.zeros((2, 2)))
+
+    def test_unit_first_component(self, rng):
+        v, _, _ = larfg(rng.standard_normal(4))
+        assert v[0] == 1.0
+
+
+class TestUpdateT:
+    def test_t_matches_reflector_product(self, rng):
+        """I - V T V^T must equal H_0 H_1 ... H_{k-1}."""
+        rows, k = 8, 4
+        V = np.zeros((rows, k))
+        T = np.zeros((k, k))
+        taus = []
+        product = np.eye(rows)
+        for j in range(k):
+            x = rng.standard_normal(rows - j)
+            v, tau, _ = larfg(x)
+            V[j:, j] = v
+            update_t(T, V, j, tau)
+            H = np.eye(rows)
+            H[j:, j:] -= tau * np.outer(v, v)
+            product = product @ H
+            taus.append(tau)
+        np.testing.assert_allclose(np.eye(rows) - V @ T @ V.T, product, atol=1e-13)
+
+    def test_t_upper_triangular(self, rng):
+        rows, k = 6, 3
+        V = np.zeros((rows, k))
+        T = np.zeros((k, k))
+        for j in range(k):
+            v, tau, _ = larfg(rng.standard_normal(rows - j))
+            V[j:, j] = v
+            update_t(T, V, j, tau)
+        assert np.allclose(np.tril(T, -1), 0)
+
+
+class TestBlockReflector:
+    def test_apply_trans_then_notrans_is_identity(self, rng):
+        from repro.kernels import geqrt
+
+        A = rng.standard_normal((6, 4))
+        ref = geqrt(A)
+        C = rng.standard_normal((6, 5))
+        C0 = C.copy()
+        ref.apply(C, trans=True)
+        ref.apply(C, trans=False)
+        np.testing.assert_allclose(C, C0, atol=1e-13)
+
+    def test_row_mismatch_rejected(self, rng):
+        from repro.kernels import geqrt
+
+        ref = geqrt(rng.standard_normal((6, 4)))
+        with pytest.raises(ValueError):
+            ref.apply(np.zeros((5, 2)))
+
+    def test_k_property(self, rng):
+        from repro.kernels import geqrt
+
+        assert geqrt(rng.standard_normal((6, 4))).k == 4
+        assert geqrt(rng.standard_normal((3, 4))).k == 3
+
+
+class TestStackedReflector:
+    def test_pair_shape_validation(self, rng):
+        from repro.kernels import geqrt, tsqrt
+
+        b = 4
+        R = rng.standard_normal((b, b))
+        geqrt(R)
+        ref = tsqrt(R, rng.standard_normal((b, b)))
+        with pytest.raises(ValueError, match="columns"):
+            ref.apply_pair(np.zeros((b, 2)), np.zeros((b, 3)))
+        with pytest.raises(ValueError, match="rows"):
+            ref.apply_pair(np.zeros((2, 3)), np.zeros((b, 3)))
+        with pytest.raises(ValueError, match="reflector acts"):
+            ref.apply_pair(np.zeros((b, 3)), np.zeros((b + 1, 3)))

@@ -1,0 +1,88 @@
+"""Property-based kernel tests (hypothesis).
+
+Invariants: any reflector is orthogonal (norm preservation), factorization
+kernels zero what they claim and reconstruct what they consumed, on
+arbitrary shapes.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import geqrt, tsqrt, ttqrt, unmqr
+
+settings.register_profile("kernels", max_examples=40, deadline=None)
+settings.load_profile("kernels")
+
+
+def _randmat(rows: int, cols: int, seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).standard_normal((rows, cols))
+
+
+@given(
+    rows=st.integers(1, 12),
+    cols=st.integers(1, 12),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_geqrt_reconstructs_any_shape(rows, cols, seed):
+    A = _randmat(rows, cols, seed)
+    A0 = A.copy()
+    ref = geqrt(A)
+    # R upper trapezoid
+    assert np.allclose(np.tril(A, -1), 0)
+    Q = np.eye(rows)
+    unmqr(ref, Q, trans=False)
+    assert np.allclose(Q @ A, A0, atol=1e-11)
+    assert np.allclose(Q.T @ Q, np.eye(rows), atol=1e-11)
+
+
+@given(
+    k=st.integers(1, 8),
+    h2=st.integers(1, 12),
+    extra_top=st.integers(0, 4),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_tsqrt_zeroes_victim_and_preserves_column_norms(k, h2, extra_top, seed):
+    rng = np.random.default_rng(seed)
+    top = rng.standard_normal((k + extra_top, k))
+    geqrt(top)
+    bot = rng.standard_normal((h2, k))
+    norms0 = np.linalg.norm(np.vstack([np.triu(top)[:k], bot]), axis=0)
+    tsqrt(top, bot)
+    assert np.max(np.abs(bot)) == 0.0
+    norms1 = np.linalg.norm(np.triu(top)[:k], axis=0)
+    assert np.allclose(norms0, norms1, atol=1e-10)
+
+
+@given(k=st.integers(1, 8), seed=st.integers(0, 2**31 - 1))
+def test_ttqrt_zeroes_victim_and_preserves_column_norms(k, seed):
+    rng = np.random.default_rng(seed)
+    t1 = rng.standard_normal((k, k))
+    t2 = rng.standard_normal((k, k))
+    geqrt(t1)
+    geqrt(t2)
+    norms0 = np.linalg.norm(np.vstack([np.triu(t1), np.triu(t2)]), axis=0)
+    ttqrt(t1, t2)
+    assert np.max(np.abs(t2)) == 0.0
+    assert np.allclose(np.linalg.norm(np.triu(t1), axis=0), norms0, atol=1e-10)
+
+
+@given(
+    k=st.integers(1, 6),
+    ncols=st.integers(1, 6),
+    h2=st.integers(1, 8),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_stacked_apply_roundtrip(k, ncols, h2, seed):
+    """Q^T then Q on a stacked pair is the identity (any reflector)."""
+    rng = np.random.default_rng(seed)
+    top = rng.standard_normal((k, k))
+    geqrt(top)
+    ref = tsqrt(top, rng.standard_normal((h2, k)))
+    C1 = rng.standard_normal((k, ncols))
+    C2 = rng.standard_normal((h2, ncols))
+    C10, C20 = C1.copy(), C2.copy()
+    ref.apply_pair(C1, C2, trans=True)
+    ref.apply_pair(C1, C2, trans=False)
+    assert np.allclose(C1, C10, atol=1e-11)
+    assert np.allclose(C2, C20, atol=1e-11)

@@ -1,0 +1,71 @@
+"""Kernel weights and rate tables (§II, §V-A)."""
+
+import pytest
+
+from repro.kernels import EDEL_RATES, WEIGHTS, KernelKind, KernelRates, kernel_flops
+
+
+class TestWeights:
+    def test_paper_values(self):
+        assert WEIGHTS[KernelKind.GEQRT] == 4
+        assert WEIGHTS[KernelKind.UNMQR] == 6
+        assert WEIGHTS[KernelKind.TSQRT] == 6
+        assert WEIGHTS[KernelKind.TSMQR] == 12
+        assert WEIGHTS[KernelKind.TTQRT] == 2
+        assert WEIGHTS[KernelKind.TTMQR] == 6
+
+    def test_ts_decomposition_identity(self):
+        """§II: TSQRT == GEQRT + TTQRT; TSMQR == UNMQR + TTMQR (weights)."""
+        assert (
+            WEIGHTS[KernelKind.TSQRT]
+            == WEIGHTS[KernelKind.GEQRT] + WEIGHTS[KernelKind.TTQRT]
+        )
+        assert (
+            WEIGHTS[KernelKind.TSMQR]
+            == WEIGHTS[KernelKind.UNMQR] + WEIGHTS[KernelKind.TTMQR]
+        )
+
+    def test_kernel_flops(self):
+        assert kernel_flops(KernelKind.TSMQR, 3) == 12 * 27 / 3
+
+    def test_kind_flags(self):
+        assert KernelKind.TSMQR.is_ts and KernelKind.TSQRT.is_ts
+        assert not KernelKind.TTMQR.is_ts
+        assert KernelKind.UNMQR.is_update and not KernelKind.GEQRT.is_update
+
+
+class TestRates:
+    def test_edel_calibration(self):
+        """§V-A: TSMQR 7.21 GF/s (79.4% of 9.08), TTMQR 6.28 (69.2%)."""
+        assert EDEL_RATES.peak == pytest.approx(9.08)
+        assert EDEL_RATES.ts_rate / EDEL_RATES.peak == pytest.approx(0.794, abs=0.001)
+        assert EDEL_RATES.tt_rate / EDEL_RATES.peak == pytest.approx(0.692, abs=0.001)
+
+    def test_ts_faster_than_tt_by_about_10_percent(self):
+        """§II: TS kernels are ~10% faster than TT kernels."""
+        ratio = EDEL_RATES.ts_rate / EDEL_RATES.tt_rate
+        assert 1.05 < ratio < 1.2
+
+    def test_rate_dispatch(self):
+        assert EDEL_RATES.rate(KernelKind.TSMQR) == EDEL_RATES.ts_rate
+        assert EDEL_RATES.rate(KernelKind.GEQRT) == EDEL_RATES.tt_rate
+
+    def test_seconds_at_reference_size(self):
+        """At b_ref = 280 the measured rates apply unmodified."""
+        r = KernelRates()
+        assert r.seconds(KernelKind.TSMQR, 280) == pytest.approx(
+            12 * 280**3 / 3 / (7.21e9)
+        )
+        assert r.efficiency(280) == pytest.approx(1.0)
+
+    def test_small_tiles_run_less_efficiently(self):
+        """BLAS-3 saturation: halving b below saturation costs more than
+        the flop ratio alone."""
+        r = KernelRates()
+        t140 = r.seconds(KernelKind.TSMQR, 140)
+        t280 = r.seconds(KernelKind.TSMQR, 280)
+        # flops ratio is 8x; efficiency makes it worse than 8x per flop
+        assert t280 / t140 < 8.0
+        assert r.efficiency(140) < 0.7
+        # large tiles saturate (efficiency > 1 relative to 280, capped small)
+        assert 1.0 < r.efficiency(1120) < 1.3

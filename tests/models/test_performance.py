@@ -1,0 +1,102 @@
+"""Performance model: optimism, binding terms, ranking correlation."""
+
+import pytest
+
+from repro.dag import TaskGraph
+from repro.hqr import HQRConfig, hqr_elimination_list
+from repro.models import ConfigExplorer, PerformanceModel
+from repro.runtime import ClusterSimulator, Machine
+from repro.tiles.layout import BlockCyclic2D
+
+
+B = 280
+
+
+def graph(m, n, cfg):
+    return TaskGraph.from_eliminations(hqr_elimination_list(m, n, cfg), m, n)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return Machine.edel(), BlockCyclic2D(15, 4)
+
+
+class TestPrediction:
+    def test_model_is_optimistic(self, setup):
+        """predicted makespan <= simulated makespan, always."""
+        mach, lay = setup
+        model = PerformanceModel(mach, lay, B)
+        sim = ClusterSimulator(mach, lay, B)
+        for m, n, cfg in [
+            (64, 16, HQRConfig(p=15, q=4, a=4)),
+            (32, 32, HQRConfig(p=15, q=4, a=4, domino=False)),
+            (128, 8, HQRConfig(p=15, q=4, a=1, low_tree="flat")),
+        ]:
+            g = graph(m, n, cfg)
+            pred = model.predict(g)
+            res = sim.run(g)
+            assert pred.makespan <= res.makespan * 1.0001
+            # and not absurdly loose
+            assert pred.makespan > 0.2 * res.makespan
+
+    def test_binding_term_tall_skinny_is_cp(self, setup):
+        """Very tall-skinny with a serial flat tree is critical-path-bound."""
+        mach, lay = setup
+        model = PerformanceModel(mach, lay, B)
+        g = graph(256, 4, HQRConfig(p=15, q=4, a=1, low_tree="flat",
+                                    high_tree="flat", domino=False))
+        assert model.predict(g).binding == "critical-path"
+
+    def test_binding_term_square_is_work(self, setup):
+        """Square matrices with the paper's square settings (no domino —
+        its serial coupling chain would otherwise stretch the critical
+        path) are throughput-bound."""
+        mach, lay = setup
+        model = PerformanceModel(mach, lay, B)
+        g = graph(96, 96, HQRConfig(p=15, q=4, a=4, low_tree="greedy",
+                                    high_tree="flat", domino=False))
+        assert model.predict(g).binding == "work"
+
+    def test_gflops_positive(self, setup):
+        mach, lay = setup
+        pred = PerformanceModel(mach, lay, B).predict(
+            graph(16, 8, HQRConfig(p=15, q=4))
+        )
+        assert pred.gflops > 0
+
+
+class TestExplorer:
+    def test_ranking_correlates_with_simulator(self, setup):
+        """Model ranking must broadly agree with simulated ranking."""
+        mach, lay = setup
+        exp = ConfigExplorer(96, 16, mach, lay, B, grid_p=15, grid_q=4)
+        configs = [
+            HQRConfig(p=15, q=4, a=a, low_tree=low, high_tree="fibonacci",
+                      domino=False)
+            for a in (1, 4) for low in ("flat", "greedy")
+        ]
+        ranked = exp.rank(configs)
+        sim = ClusterSimulator(mach, lay, B)
+        sim_gf = {}
+        for rc in ranked:
+            g = graph(96, 16, rc.config)
+            sim_gf[rc.config] = sim.run(g).gflops
+        model_order = [rc.config for rc in ranked]
+        sim_order = sorted(sim_gf, key=lambda c: -sim_gf[c])
+        # the model's best config is in the simulator's top 2
+        assert model_order[0] in sim_order[:2]
+
+    def test_space_size(self, setup):
+        mach, lay = setup
+        exp = ConfigExplorer(16, 4, mach, lay, B, grid_p=15, grid_q=4)
+        assert len(list(exp.space())) == 4 * 4 * 4 * 2
+
+    def test_verify_returns_simulated_numbers(self, setup):
+        mach, lay = setup
+        exp = ConfigExplorer(32, 8, mach, lay, B, grid_p=15, grid_q=4)
+        ranked = exp.rank(list(exp.space(a_values=(1, 4), trees=("greedy",),
+                                         dominos=(False,))))
+        verified = exp.verify(ranked, top=2)
+        assert len(verified) == 2
+        for rc, gf in verified:
+            assert gf > 0

@@ -1,0 +1,43 @@
+"""Machine description and calibration."""
+
+import pytest
+
+from repro.kernels.weights import KernelKind
+from repro.runtime import Machine
+
+
+class TestEdel:
+    def test_paper_peak_numbers(self):
+        """§V-A: 9.08 GF/s/core, 72.64 GF/s/node, 4.358 TF/s machine."""
+        m = Machine.edel()
+        assert m.cores == 480
+        assert m.rates.peak * m.cores_per_node == pytest.approx(72.64)
+        assert m.peak_gflops() == pytest.approx(4358.4, abs=0.5)
+
+    def test_task_seconds_uses_kernel_rate(self):
+        m = Machine.edel()
+        b = 280
+        ts = m.task_seconds(KernelKind.TSMQR, b)
+        tt = m.task_seconds(KernelKind.TTMQR, b)
+        assert ts == pytest.approx(12 * b**3 / 3 / 7.21e9)
+        # TTMQR does half the flops of TSMQR but at a lower rate
+        assert tt < ts
+
+    def test_transfer_seconds(self):
+        m = Machine.edel()
+        assert m.transfer_seconds(280) == pytest.approx(
+            m.latency + 280 * 280 * 8 / m.bandwidth
+        )
+
+    def test_ideal_machine(self):
+        m = Machine.ideal(nodes=2, cores_per_node=4)
+        assert m.transfer_seconds(280) == 0.0
+        assert not m.comm_serialized
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Machine(nodes=0)
+        with pytest.raises(ValueError):
+            Machine(bandwidth=0)
+        with pytest.raises(ValueError):
+            Machine(latency=-1)

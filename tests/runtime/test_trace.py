@@ -1,0 +1,76 @@
+"""Trace analysis: summaries, utilization, Gantt rendering."""
+
+import pytest
+
+from repro.dag import TaskGraph
+from repro.hqr import HQRConfig, hqr_elimination_list
+from repro.kernels.weights import KernelKind
+from repro.runtime import ClusterSimulator, Machine
+from repro.runtime.trace import ascii_gantt, summarize
+from repro.tiles.layout import BlockCyclic2D, Block1D
+
+
+def run_traced(m, n, layout, cfg=None):
+    cfg = cfg or HQRConfig(p=2, a=2)
+    g = TaskGraph.from_eliminations(hqr_elimination_list(m, n, cfg), m, n)
+    sim = ClusterSimulator(Machine.edel(), layout, 40, record_trace=True)
+    return g, sim.run(g)
+
+
+class TestSummarize:
+    def test_totals_match_result(self):
+        g, res = run_traced(12, 6, BlockCyclic2D(2, 2))
+        s = summarize(res.trace, g)
+        assert s.makespan == pytest.approx(res.makespan)
+        assert sum(s.node_busy.values()) == pytest.approx(res.busy_seconds)
+
+    def test_kernel_counts_match_graph(self):
+        g, res = run_traced(10, 5, BlockCyclic2D(2, 2))
+        s = summarize(res.trace, g)
+        for kind in KernelKind:
+            expected = sum(1 for t in g.tasks if t.kind is kind)
+            assert s.kernel_counts[kind] == expected
+
+    def test_utilization_bounded(self):
+        g, res = run_traced(12, 6, BlockCyclic2D(2, 2))
+        s = summarize(res.trace, g)
+        mach = Machine.edel()
+        for node, u in s.utilization.items():
+            assert 0 <= u <= mach.cores_per_node
+
+    def test_block_layout_more_imbalanced_than_cyclic(self):
+        """§III-C load-imbalance claim, observed in the trace."""
+        m, n = 24, 12
+        cfg = HQRConfig(p=1, a=3, low_tree="binary", domino=False)
+        g1, res1 = run_traced(m, n, Block1D(4, m), cfg)
+        from repro.tiles.layout import Cyclic1D
+
+        g2, res2 = run_traced(m, n, Cyclic1D(4), cfg)
+        s1 = summarize(res1.trace, g1)
+        s2 = summarize(res2.trace, g2)
+        assert s1.imbalance() > s2.imbalance()
+
+    def test_empty_trace(self):
+        g = TaskGraph(1, 1, [], [])
+        s = summarize([], g)
+        assert s.makespan == 0.0
+        assert s.imbalance() == 1.0
+
+
+class TestGantt:
+    def test_renders_one_row_per_node(self):
+        g, res = run_traced(12, 6, BlockCyclic2D(2, 2))
+        text = ascii_gantt(res.trace, g, width=40)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_busy_and_idle_glyphs(self):
+        g, res = run_traced(16, 8, BlockCyclic2D(2, 2))
+        text = ascii_gantt(res.trace, g, width=30)
+        assert "#" in text or "+" in text
+        assert "." in text  # ramp-up idle slots exist
+
+    def test_empty(self):
+        g = TaskGraph(1, 1, [], [])
+        assert ascii_gantt([], g) == "(empty trace)"

@@ -1,0 +1,129 @@
+"""Data distributions: ownership, local views, §III-A layout examples."""
+
+import pytest
+
+from repro.tiles import Block1D, BlockCyclic2D, Cyclic1D, SingleNode
+
+
+class TestSingleNode:
+    def test_everything_on_rank_zero(self):
+        lay = SingleNode()
+        assert lay.nodes == 1
+        assert lay.owner(5, 3) == 0
+        assert lay.local_row(7) == 7
+
+
+class TestBlock1D:
+    def test_paper_example(self):
+        # §III-A: p=3, rows 0-3 / 4-7 / 8-11
+        lay = Block1D(3, 12)
+        owners = [lay.owner(i, 0) for i in range(12)]
+        assert owners == [0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]
+
+    def test_local_rows_contiguous(self):
+        lay = Block1D(3, 12)
+        assert [lay.local_row(i) for i in range(4)] == [0, 1, 2, 3]
+        assert [lay.local_row(i) for i in range(4, 8)] == [0, 1, 2, 3]
+
+    def test_uneven_division_clamps_last(self):
+        lay = Block1D(3, 10)  # chunks of 4: 0-3, 4-7, 8-9
+        assert lay.owner(9, 0) == 2
+        assert lay.owner(8, 0) == 2
+
+    def test_out_of_range(self):
+        lay = Block1D(3, 10)
+        with pytest.raises(IndexError):
+            lay.owner(10, 0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            Block1D(0, 5)
+
+
+class TestCyclic1D:
+    def test_paper_example(self):
+        # §III-A cyclic: P0 gets 0,3,6,9; P1 gets 1,4,7,10; P2 gets 2,5,8,11
+        lay = Cyclic1D(3)
+        assert [i for i in range(12) if lay.owner(i, 0) == 0] == [0, 3, 6, 9]
+        assert [i for i in range(12) if lay.owner(i, 0) == 1] == [1, 4, 7, 10]
+
+    def test_local_rows_stack_in_order(self):
+        lay = Cyclic1D(3)
+        assert [lay.local_row(i) for i in (0, 3, 6, 9)] == [0, 1, 2, 3]
+
+    def test_block_cyclic_groups(self):
+        # CYCLIC(2) over 3 nodes: (0,1)->0 (2,3)->1 (4,5)->2 (6,7)->0 ...
+        lay = Cyclic1D(3, block=2)
+        assert [lay.owner(i, 0) for i in range(8)] == [0, 0, 1, 1, 2, 2, 0, 0]
+
+    def test_block_cyclic_local_rows(self):
+        lay = Cyclic1D(3, block=2)
+        # node 0 holds rows 0,1,6,7 -> local 0,1,2,3
+        assert [lay.local_row(i) for i in (0, 1, 6, 7)] == [0, 1, 2, 3]
+
+    def test_block_equals_block1d_when_block_covers(self):
+        # CYCLIC(ceil(m/r)) == Block1D for a single cycle
+        m, r = 12, 3
+        cyc = Cyclic1D(r, block=m // r)
+        blk = Block1D(r, m)
+        assert all(cyc.owner(i, 0) == blk.owner(i, 0) for i in range(m))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            Cyclic1D(2, block=0)
+
+
+class TestBlockCyclic2D:
+    def test_owner_formula(self):
+        lay = BlockCyclic2D(3, 2)
+        assert lay.nodes == 6
+        assert lay.owner(4, 5) == (4 % 3) * 2 + (5 % 2)
+
+    def test_owner_row_ignores_column(self):
+        lay = BlockCyclic2D(3, 2)
+        assert lay.owner_row(7) == 1
+        assert all(lay.owner(7, j) // 2 == 1 for j in range(5))
+
+    def test_grid_coords_roundtrip(self):
+        lay = BlockCyclic2D(3, 4)
+        for node in range(12):
+            r, c = lay.grid_coords(node)
+            assert r * 4 + c == node
+
+    def test_grid_coords_range(self):
+        with pytest.raises(IndexError):
+            BlockCyclic2D(2, 2).grid_coords(4)
+
+    def test_local_rows(self):
+        lay = BlockCyclic2D(3, 1)
+        assert [lay.local_row(i) for i in (2, 5, 8, 11)] == [0, 1, 2, 3]
+
+    def test_load_balance_square(self):
+        """2-D cyclic spreads a square tile set near-perfectly (§IV-A)."""
+        lay = BlockCyclic2D(3, 2)
+        counts = [0] * 6
+        for i in range(30):
+            for j in range(30):
+                counts[lay.owner(i, j)] += 1
+        assert max(counts) == min(counts)
+
+    def test_block1d_imbalance_on_lower_triangle(self):
+        """§III-C: block layout starves early nodes as panels retire."""
+        m = 30
+        blk, cyc = Block1D(3, m), Cyclic1D(3)
+        for lay in (blk, cyc):
+            counts = [0] * 3
+            for i in range(m):
+                for k in range(i + 1):  # lower-triangular work
+                    counts[lay.owner(i, k)] += 1
+            if lay is blk:
+                blk_spread = max(counts) / min(counts)
+            else:
+                cyc_spread = max(counts) / min(counts)
+        assert blk_spread > 3.0  # heavily imbalanced
+        assert cyc_spread < 1.3  # nearly even
+
+    def test_messages_equal(self):
+        lay = BlockCyclic2D(2, 2)
+        assert lay.messages_equal(0, 0, 2, 2)
+        assert not lay.messages_equal(0, 0, 1, 0)

@@ -1,0 +1,126 @@
+"""TiledMatrix: tiling arithmetic, views, mutation semantics."""
+
+import numpy as np
+import pytest
+
+from repro.tiles import TiledMatrix, tile_count
+
+
+class TestTileCount:
+    def test_exact_multiple(self):
+        assert tile_count(12, 4) == 3
+
+    def test_rounds_up(self):
+        assert tile_count(13, 4) == 4
+
+    def test_single_partial(self):
+        assert tile_count(3, 8) == 1
+
+    def test_zero_extent(self):
+        assert tile_count(0, 4) == 0
+
+    def test_rejects_negative_extent(self):
+        with pytest.raises(ValueError):
+            tile_count(-1, 4)
+
+    def test_rejects_bad_tile_size(self):
+        with pytest.raises(ValueError):
+            tile_count(4, 0)
+
+
+class TestConstruction:
+    def test_shape_bookkeeping(self, rng):
+        A = TiledMatrix(rng.standard_normal((10, 7)), 3)
+        assert (A.M, A.N, A.m, A.n, A.b) == (10, 7, 4, 3, 3)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            TiledMatrix(np.zeros(5), 2)
+
+    def test_rejects_nonpositive_tile(self):
+        with pytest.raises(ValueError):
+            TiledMatrix(np.zeros((4, 4)), 0)
+
+    def test_aliases_by_default(self):
+        data = np.zeros((4, 4))
+        A = TiledMatrix(data, 2)
+        A.tile(0, 0)[0, 0] = 7.0
+        assert data[0, 0] == 7.0
+
+    def test_copy_detaches(self):
+        data = np.zeros((4, 4))
+        A = TiledMatrix(data, 2, copy=True)
+        A.tile(0, 0)[0, 0] = 7.0
+        assert data[0, 0] == 0.0
+
+    def test_integer_input_promoted(self):
+        A = TiledMatrix(np.arange(16).reshape(4, 4), 2)
+        assert A.array.dtype == np.float64
+
+    def test_zeros_eye_random(self):
+        assert np.all(TiledMatrix.zeros(4, 6, 2).array == 0)
+        np.testing.assert_array_equal(TiledMatrix.eye(4, 6, 2).array, np.eye(4, 6))
+        r1 = TiledMatrix.random(4, 4, 2, seed=1).array
+        r2 = TiledMatrix.random(4, 4, 2, seed=1).array
+        np.testing.assert_array_equal(r1, r2)
+
+    def test_from_tiles(self):
+        A = TiledMatrix.from_tiles(3, 2, 4)
+        assert (A.M, A.N, A.m, A.n) == (12, 8, 3, 2)
+
+
+class TestTileAccess:
+    def test_views_cover_matrix_disjointly(self, rng):
+        A = TiledMatrix(rng.standard_normal((10, 7)), 3)
+        seen = np.zeros((10, 7), dtype=int)
+        for i, j, view in A.iter_tiles():
+            r0, c0 = i * 3, j * 3
+            seen[r0 : r0 + view.shape[0], c0 : c0 + view.shape[1]] += 1
+        assert np.all(seen == 1)
+
+    def test_edge_tile_shapes(self, rng):
+        A = TiledMatrix(rng.standard_normal((10, 7)), 3)
+        assert A.tile(3, 0).shape == (1, 3)
+        assert A.tile(0, 2).shape == (3, 1)
+        assert A.tile(3, 2).shape == (1, 1)
+        assert A.tile_shape(3, 2) == (1, 1)
+
+    def test_view_mutation_visible(self, rng):
+        A = TiledMatrix(rng.standard_normal((6, 6)), 3)
+        A.tile(1, 1)[...] = 0.0
+        assert np.all(A.array[3:, 3:] == 0)
+
+    def test_getitem_setitem(self, rng):
+        A = TiledMatrix.zeros(6, 6, 3)
+        block = rng.standard_normal((3, 3))
+        A[1, 0] = block
+        np.testing.assert_array_equal(A[1, 0], block)
+
+    def test_setitem_shape_mismatch(self):
+        A = TiledMatrix.zeros(6, 6, 3)
+        with pytest.raises(ValueError):
+            A[0, 0] = np.zeros((2, 2))
+
+    def test_out_of_range(self):
+        A = TiledMatrix.zeros(6, 6, 3)
+        with pytest.raises(IndexError):
+            A.tile(2, 0)
+        with pytest.raises(IndexError):
+            A.tile(0, -1)
+
+    def test_row_height_col_width(self):
+        A = TiledMatrix.zeros(10, 7, 3)
+        assert [A.row_height(i) for i in range(A.m)] == [3, 3, 3, 1]
+        assert [A.col_width(j) for j in range(A.n)] == [3, 3, 1]
+
+    def test_to_array_is_copy(self):
+        A = TiledMatrix.zeros(4, 4, 2)
+        dense = A.to_array()
+        dense[0, 0] = 5.0
+        assert A.array[0, 0] == 0.0
+
+    def test_copy_roundtrip(self, rng):
+        A = TiledMatrix(rng.standard_normal((6, 4)), 2)
+        B = A.copy()
+        B.tile(0, 0)[...] = 0
+        assert not np.allclose(A.array[:2, :2], 0)

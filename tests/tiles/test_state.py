@@ -1,0 +1,70 @@
+"""Tile state machine (§II transitions)."""
+
+import pytest
+
+from repro.tiles import PanelStateTracker, TileState
+
+
+class TestGeqrt:
+    def test_square_becomes_triangle(self):
+        t = PanelStateTracker([0, 1])
+        t.geqrt(0)
+        assert t.state[0] is TileState.TRIANGLE
+
+    def test_double_geqrt_rejected(self):
+        t = PanelStateTracker([0])
+        t.geqrt(0)
+        with pytest.raises(ValueError):
+            t.geqrt(0)
+
+
+class TestKill:
+    def test_ts_kill_square_victim(self):
+        t = PanelStateTracker([0, 1])
+        t.kill(1, 0, ts=True)
+        assert t.state[1] is TileState.ZERO
+        assert t.state[0] is TileState.TRIANGLE  # implicit GEQRT
+
+    def test_ts_kill_rejects_triangle_victim(self):
+        t = PanelStateTracker([0, 1])
+        t.geqrt(1)
+        with pytest.raises(ValueError, match="TS kill"):
+            t.kill(1, 0, ts=True)
+
+    def test_tt_kill_triangularizes_square_victim(self):
+        t = PanelStateTracker([0, 1])
+        t.kill(1, 0, ts=False)
+        assert t.state[1] is TileState.ZERO
+
+    def test_dead_killer_rejected(self):
+        t = PanelStateTracker([0, 1, 2])
+        t.kill(1, 0, ts=True)
+        with pytest.raises(ValueError, match="potential annihilator"):
+            t.kill(2, 1, ts=True)
+
+    def test_double_kill_rejected(self):
+        t = PanelStateTracker([0, 1])
+        t.kill(1, 0, ts=True)
+        with pytest.raises(ValueError, match="already zeroed"):
+            t.kill(1, 0, ts=True)
+
+    def test_self_kill_rejected(self):
+        t = PanelStateTracker([0, 1])
+        with pytest.raises(ValueError, match="kill itself"):
+            t.kill(1, 1, ts=True)
+
+    def test_unknown_row_rejected(self):
+        t = PanelStateTracker([0, 1])
+        with pytest.raises(ValueError):
+            t.kill(5, 0, ts=True)
+
+
+class TestReduction:
+    def test_remaining_and_is_reduced(self):
+        t = PanelStateTracker([0, 1, 2])
+        assert sorted(t.remaining()) == [0, 1, 2]
+        t.kill(2, 1, ts=False)
+        assert not t.is_reduced()
+        t.kill(1, 0, ts=False)
+        assert t.is_reduced()
+        assert t.remaining() == [0]

@@ -1,0 +1,74 @@
+"""Critical-path formulas vs the exact coarse scheduler."""
+
+import math
+
+import pytest
+
+from repro.trees.critical_path import (
+    matrix_steps_estimate,
+    matrix_steps_exact,
+    panel_steps,
+    paper_flat_over_greedy_ratio,
+)
+from repro.trees import coarse_schedule, make_tree
+
+
+class TestPanelSteps:
+    @pytest.mark.parametrize("q", [1, 2, 3, 5, 8, 13, 32, 100])
+    @pytest.mark.parametrize("name", ["flat", "binary", "greedy", "fibonacci"])
+    def test_closed_form_matches_simulation(self, name, q):
+        elims = [
+            __import__("repro.trees.base", fromlist=["Elimination"]).Elimination(
+                panel=0, victim=v, killer=k
+            )
+            for v, k in make_tree(name).eliminations(range(q))
+        ]
+        exact = max(coarse_schedule(elims).values(), default=0)
+        assert panel_steps(name, q) == exact
+
+    def test_flat_is_linear(self):
+        assert panel_steps("flat", 100) == 99
+
+    def test_greedy_binary_logarithmic(self):
+        assert panel_steps("greedy", 100) == 7
+        assert panel_steps("binary", 100) == 7
+
+    def test_fibonacci_between(self):
+        assert panel_steps("binary", 100) <= panel_steps("fibonacci", 100)
+        assert panel_steps("fibonacci", 100) < panel_steps("flat", 100)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            panel_steps("flat", 0)
+        with pytest.raises(ValueError):
+            panel_steps("ternary", 5)
+
+
+class TestMatrixSteps:
+    def test_flat_exact_formula(self):
+        """Table II generalizes: flat CP = (m - 1) + (n - 1) for m > n
+        (the last row's eliminations pipeline one step per panel)."""
+        for m, n in [(12, 3), (20, 5), (8, 2)]:
+            assert matrix_steps_exact("flat", m, n) == (m - 1) + (n - 1)
+
+    def test_estimates_track_exact_for_tall_matrices(self):
+        for name in ("flat", "greedy"):
+            est = matrix_steps_estimate(name, 128, 8)
+            exact = matrix_steps_exact(name, 128, 8)
+            assert 0.5 < est / exact < 2.2, name
+
+    def test_greedy_beats_flat_increasingly(self):
+        ratios = []
+        for m in (32, 128, 512):
+            f = matrix_steps_exact("flat", m, 4)
+            g = matrix_steps_exact("greedy", m, 4)
+            ratios.append(f / g)
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_paper_example_2_6x(self):
+        """§V-B: '((68 + 2*16)/(log2(68) + 2*16))' ~ 2.6x."""
+        assert paper_flat_over_greedy_ratio(68, 16) == pytest.approx(2.6, abs=0.2)
+
+    def test_estimate_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            matrix_steps_estimate("ternary", 4, 4)

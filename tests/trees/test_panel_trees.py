@@ -1,0 +1,155 @@
+"""Panel trees: structure, validity, critical-path properties."""
+
+import math
+
+import pytest
+
+from repro.tiles.state import PanelStateTracker
+from repro.trees import (
+    BinaryTree,
+    FibonacciTree,
+    FlatTree,
+    GreedyTree,
+    make_tree,
+)
+from repro.trees.fibonacci import fibonacci_groups
+
+ALL_TREES = [FlatTree(), BinaryTree(), GreedyTree(), FibonacciTree()]
+
+
+def replay(rows, elims):
+    """Replay (victim, killer) pairs through the state machine; return survivor."""
+    t = PanelStateTracker(list(rows))
+    for victim, killer in elims:
+        t.kill(victim, killer, ts=False)
+    assert t.is_reduced()
+    return t.remaining()[0]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("tree", ALL_TREES, ids=lambda t: t.name)
+    @pytest.mark.parametrize("q", [1, 2, 3, 5, 8, 12, 17, 33])
+    def test_reduces_to_first_row(self, tree, q):
+        rows = list(range(10, 10 + q))
+        assert replay(rows, tree.eliminations(rows)) == rows[0]
+
+    @pytest.mark.parametrize("tree", ALL_TREES, ids=lambda t: t.name)
+    def test_noncontiguous_rows(self, tree):
+        rows = [1, 4, 5, 9, 14, 30]
+        elims = tree.eliminations(rows)
+        assert replay(rows, elims) == 1
+        used = {v for v, _ in elims} | {k for _, k in elims}
+        assert used <= set(rows)
+
+    @pytest.mark.parametrize("tree", ALL_TREES, ids=lambda t: t.name)
+    def test_single_row_is_trivial(self, tree):
+        assert tree.eliminations([3]) == []
+
+    @pytest.mark.parametrize("tree", ALL_TREES, ids=lambda t: t.name)
+    def test_each_victim_killed_once(self, tree):
+        rows = list(range(20))
+        victims = [v for v, _ in tree.eliminations(rows)]
+        assert sorted(victims) == rows[1:]
+
+    @pytest.mark.parametrize("tree", ALL_TREES, ids=lambda t: t.name)
+    def test_rejects_unsorted_rows(self, tree):
+        with pytest.raises(ValueError):
+            tree.eliminations([3, 1, 2])
+
+    @pytest.mark.parametrize("tree", ALL_TREES, ids=lambda t: t.name)
+    def test_rejects_duplicates(self, tree):
+        with pytest.raises(ValueError):
+            tree.eliminations([1, 1, 2])
+
+
+class TestFlat:
+    def test_single_killer(self):
+        elims = FlatTree().eliminations(range(5))
+        assert elims == [(1, 0), (2, 0), (3, 0), (4, 0)]
+
+
+class TestBinary:
+    def test_paper_panel0_structure(self):
+        """Figure 2 / Table III panel 0: 1<-0, 3<-2, ..., then 2<-0, ..."""
+        elims = BinaryTree().eliminations(range(12))
+        round1 = elims[:6]
+        assert round1 == [(1, 0), (3, 2), (5, 4), (7, 6), (9, 8), (11, 10)]
+        assert (2, 0) in elims and (4, 0) in elims and (8, 0) in elims
+
+    def test_log_depth(self):
+        """Rounds = ceil(log2(q))."""
+        for q in (2, 3, 8, 9, 16, 33):
+            elims = BinaryTree().eliminations(range(q))
+            # depth = number of distinct strides
+            strides = {v - k for v, k in elims}
+            assert len(strides) == math.ceil(math.log2(q))
+
+
+class TestGreedy:
+    def test_kills_half_per_wave(self):
+        elims = GreedyTree().eliminations(range(12))
+        # wave 1 kills bottom 6 rows using the 6 above, natural pairing
+        assert elims[:6] == [(6, 0), (7, 1), (8, 2), (9, 3), (10, 4), (11, 5)]
+        # wave 2: 6 alive -> kill 3
+        assert elims[6:9] == [(3, 0), (4, 1), (5, 2)]
+        assert elims[9:] == [(2, 1), (1, 0)]
+
+    def test_optimal_depth(self):
+        """Greedy achieves ceil(log2(q)) waves on a fresh panel."""
+        for q in (2, 5, 8, 16, 31):
+            alive, waves = q, 0
+            elims = GreedyTree().eliminations(range(q))
+            # reconstruct waves from the kill counts
+            idx = 0
+            while alive > 1:
+                z = alive // 2
+                wave = elims[idx : idx + z]
+                assert len(wave) == z
+                idx += z
+                alive -= z
+                waves += 1
+            assert waves == math.ceil(math.log2(q))
+
+
+class TestFibonacci:
+    def test_group_sizes(self):
+        assert fibonacci_groups(1) == [1]
+        assert fibonacci_groups(2) == [1, 1]
+        assert fibonacci_groups(4) == [1, 1, 2]
+        assert fibonacci_groups(7) == [1, 1, 2, 3]
+        assert fibonacci_groups(11) == [1, 1, 2, 3, 4]  # last clipped
+        assert sum(fibonacci_groups(100)) == 100
+
+    def test_killer_distance_equals_group_size(self):
+        elims = dict()
+        for victim, killer in FibonacciTree().eliminations(range(13)):
+            elims[victim] = killer
+        # groups: [1], [2], [3,4], [5,6,7], [8..12]
+        assert elims[1] == 0
+        assert elims[2] == 1
+        assert elims[3] == 1 and elims[4] == 2
+        assert elims[5] == 2 and elims[7] == 4
+        assert elims[8] == 3 and elims[12] == 7
+
+    def test_asymptotically_logarithmic_depth(self):
+        """#groups grows like log_phi(q), far below flat's q - 1."""
+        q = 200
+        sizes = fibonacci_groups(q - 1)
+        assert len(sizes) < 2.2 * math.log(q) + 3
+
+
+class TestFactory:
+    def test_all_names(self):
+        for name in ("flat", "binary", "greedy", "fibonacci"):
+            assert make_tree(name).name == name
+
+    def test_case_insensitive(self):
+        assert make_tree("GREEDY").name == "greedy"
+
+    def test_passthrough(self):
+        t = FlatTree()
+        assert make_tree(t) is t
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown tree"):
+            make_tree("ternary")

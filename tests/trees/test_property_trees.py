@@ -1,0 +1,65 @@
+"""Property-based tree tests (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tiles.state import PanelStateTracker
+from repro.trees import (
+    coarse_schedule,
+    greedy_elimination_list,
+    make_tree,
+    panel_elimination_list,
+)
+from repro.hqr.validate import check_elimination_list
+
+settings.register_profile("trees", max_examples=60, deadline=None)
+settings.load_profile("trees")
+
+tree_names = st.sampled_from(["flat", "binary", "greedy", "fibonacci"])
+
+
+@given(
+    name=tree_names,
+    rows=st.sets(st.integers(0, 60), min_size=1, max_size=25).map(sorted),
+)
+def test_any_tree_validly_reduces_any_row_set(name, rows):
+    tree = make_tree(name)
+    tracker = PanelStateTracker(list(rows))
+    for victim, killer in tree.eliminations(rows):
+        tracker.kill(victim, killer, ts=False)
+    assert tracker.remaining() == [rows[0]]
+
+
+@given(name=tree_names, m=st.integers(2, 20), n=st.integers(1, 20))
+def test_pipelined_lists_are_valid(name, m, n):
+    elims = panel_elimination_list(m, n, make_tree(name))
+    check_elimination_list(elims, m, n)
+
+
+@given(m=st.integers(2, 25), n=st.integers(1, 25))
+def test_global_greedy_is_valid_and_steps_consistent(m, n):
+    elims, steps = greedy_elimination_list(m, n, return_steps=True)
+    check_elimination_list(elims, m, n)
+    # the coarse scheduler must never place an elimination EARLIER than the
+    # wave the greedy simulation chose (greedy is already earliest-start);
+    # list-order serialization can only delay, not advance
+    replay = coarse_schedule(elims)
+    for e, step in steps.items():
+        assert replay[e] >= step or replay[e] == step
+
+
+@given(m=st.integers(2, 25), n=st.integers(1, 25))
+def test_greedy_no_slower_than_other_trees(m, n):
+    """Greedy's coarse makespan is minimal among the implemented trees [12,13]."""
+    _, steps = greedy_elimination_list(m, n, return_steps=True)
+    greedy_span = max(steps.values())
+    for name in ("flat", "binary", "fibonacci"):
+        elims = panel_elimination_list(m, n, make_tree(name))
+        other = max(coarse_schedule(elims).values())
+        assert greedy_span <= other, name
+
+
+@given(name=tree_names, q=st.integers(1, 40))
+def test_elimination_count_is_exact(name, q):
+    rows = list(range(q))
+    assert len(make_tree(name).eliminations(rows)) == q - 1

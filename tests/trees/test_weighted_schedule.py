@@ -1,0 +1,85 @@
+"""Weighted coarse model vs the exact DAG critical path."""
+
+import pytest
+
+from repro.dag import TaskGraph, critical_path_weight
+from repro.hqr import HQRConfig, hqr_elimination_list
+from repro.trees import (
+    BinaryTree,
+    FlatTree,
+    GreedyTree,
+    greedy_elimination_list,
+    panel_elimination_list,
+)
+from repro.trees.weighted_schedule import weighted_makespan, weighted_schedule
+
+
+def dag_cp(elims, m, n):
+    return critical_path_weight(TaskGraph.from_eliminations(elims, m, n))
+
+
+class TestSinglePanel:
+    def test_flat_ts_chain_exact(self):
+        """One panel, no trailing columns: the model is exact."""
+        m = 9
+        elims = panel_elimination_list(m, 1, FlatTree())
+        assert weighted_makespan(elims, 1) == dag_cp(elims, m, 1)
+
+    def test_binary_tt_chain_exact(self):
+        m = 16
+        elims = panel_elimination_list(m, 1, BinaryTree())
+        assert weighted_makespan(elims, 1) == dag_cp(elims, m, 1)
+
+    def test_ts_kill_costs_more_than_tt(self):
+        """Per kill: TS = 6 vs TT = 2 (+4 GEQRT amortized once)."""
+        m = 32
+        flat = weighted_makespan(panel_elimination_list(m, 1, FlatTree()), 1)
+        # flat chain: 4 + 6*(m-1)
+        assert flat == 4 + 6 * (m - 1)
+        binary = weighted_makespan(panel_elimination_list(m, 1, BinaryTree()), 1)
+        # binary: log2(m) levels of (4+2), roots pay GEQRT once
+        assert binary < flat / 3
+
+
+class TestMultiPanel:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda m, n: panel_elimination_list(m, n, FlatTree()),
+            lambda m, n: panel_elimination_list(m, n, BinaryTree()),
+            lambda m, n: greedy_elimination_list(m, n),
+            lambda m, n: hqr_elimination_list(m, n, HQRConfig(p=3, a=2)),
+        ],
+        ids=["flat", "binary", "greedy", "hqr"],
+    )
+    @pytest.mark.parametrize("m,n", [(12, 4), (20, 6), (8, 8)])
+    def test_optimistic_but_tight(self, maker, m, n):
+        """model <= DAG critical path, within a 3x band."""
+        elims = maker(m, n)
+        model = weighted_makespan(elims, n)
+        exact = dag_cp(elims, m, n)
+        assert model <= exact * 1.0001
+        assert model > exact / 3
+
+    def test_preserves_tree_ordering_tall_skinny(self):
+        """greedy < binary < flat on tall-skinny, as in the DAG."""
+        m, n = 64, 4
+        spans = {
+            "flat": weighted_makespan(panel_elimination_list(m, n, FlatTree()), n),
+            "binary": weighted_makespan(panel_elimination_list(m, n, BinaryTree()), n),
+            "greedy": weighted_makespan(greedy_elimination_list(m, n), n),
+        }
+        assert spans["greedy"] <= spans["binary"] < spans["flat"]
+
+    def test_start_times_monotone_per_row_pair(self):
+        m, n = 12, 3
+        elims = panel_elimination_list(m, n, FlatTree())
+        starts, _ = weighted_schedule(elims, n)
+        by_killer = {}
+        for e in elims:
+            by_killer.setdefault((e.killer, e.panel), []).append(starts[e])
+        for seq in by_killer.values():
+            assert seq == sorted(seq)
+
+    def test_empty(self):
+        assert weighted_makespan([], 1) == 0.0
