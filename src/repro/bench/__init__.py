@@ -5,9 +5,11 @@ the cluster simulator and the analytic SCALAPACK model); the pytest-benchmark
 suites under ``benchmarks/`` drive them and print paper-style output.
 """
 
+from repro.bench.parallel import default_workers, parallel_map
 from repro.bench.runner import (
     BenchSetup,
     run_config,
+    run_config_sweep,
     run_eliminations,
     sweep_m_values,
 )
@@ -23,7 +25,10 @@ from repro.bench.tables import (
 
 __all__ = [
     "BenchSetup",
+    "default_workers",
+    "parallel_map",
     "run_config",
+    "run_config_sweep",
     "run_eliminations",
     "sweep_m_values",
     "figure6",

@@ -12,6 +12,7 @@ from repro.baselines.slhd10 import slhd10_elimination_list, slhd10_layout
 from repro.bench.runner import (
     BenchSetup,
     run_config,
+    run_config_sweep,
     run_eliminations,
     sweep_m_values,
     sweep_n_values,
@@ -33,12 +34,12 @@ def figure6(low_tree: str, setup: BenchSetup | None = None) -> Series:
     ``a in {1, 4, 8}`` x ``high in {greedy, binary, flat, fibonacci}``.
     """
     setup = setup or BenchSetup()
-    out: Series = {}
+    ms = sweep_m_values()
+    labels, points = [], []
     for high in ("greedy", "binary", "flat", "fibonacci"):
         for a in (1, 4, 8):
-            label = f"a={a}, {high}"
-            pts = []
-            for m in sweep_m_values():
+            labels.append(f"a={a}, {high}")
+            for m in ms:
                 cfg = HQRConfig(
                     p=setup.grid_p,
                     q=setup.grid_q,
@@ -47,23 +48,25 @@ def figure6(low_tree: str, setup: BenchSetup | None = None) -> Series:
                     high_tree=high,
                     domino=False,
                 )
-                res = run_config(m, N_TILES, cfg, setup)
-                pts.append((m * setup.b, res.gflops))
-            out[label] = pts
+                points.append((m, N_TILES, cfg))
+    results = run_config_sweep(points, setup)
+    out: Series = {}
+    for i, label in enumerate(labels):
+        chunk = results[i * len(ms) : (i + 1) * len(ms)]
+        out[label] = [(m * setup.b, r.gflops) for m, r in zip(ms, chunk)]
     return out
 
 
 def figure7(setup: BenchSetup | None = None) -> Series:
     """Figure 7: low-level tree x domino on/off (a=4, high=fibonacci)."""
     setup = setup or BenchSetup()
-    out: Series = {}
+    # the paper's Figure 7 starts at M = 17,920
+    ms = tuple(m for m in sweep_m_values() if m >= 64)
+    labels, points = [], []
     for domino in (False, True):
         for low in ("flat", "fibonacci", "greedy", "binary"):
-            label = f"{'w/' if domino else 'w/o'} domino: {low}"
-            pts = []
-            for m in sweep_m_values():
-                if m < 64:
-                    continue  # the paper's Figure 7 starts at M = 17,920
+            labels.append(f"{'w/' if domino else 'w/o'} domino: {low}")
+            for m in ms:
                 cfg = HQRConfig(
                     p=setup.grid_p,
                     q=setup.grid_q,
@@ -72,9 +75,12 @@ def figure7(setup: BenchSetup | None = None) -> Series:
                     high_tree="fibonacci",
                     domino=domino,
                 )
-                res = run_config(m, N_TILES, cfg, setup)
-                pts.append((m * setup.b, res.gflops))
-            out[label] = pts
+                points.append((m, N_TILES, cfg))
+    results = run_config_sweep(points, setup)
+    out: Series = {}
+    for i, label in enumerate(labels):
+        chunk = results[i * len(ms) : (i + 1) * len(ms)]
+        out[label] = [(m * setup.b, r.gflops) for m, r in zip(ms, chunk)]
     return out
 
 

@@ -1,0 +1,63 @@
+"""Parallel sweep engine for benchmark and explorer fan-out.
+
+Sweep points (and explorer candidates) are independent simulations, so
+they parallelize trivially over a :class:`~concurrent.futures.
+ProcessPoolExecutor`.  ``parallel_map`` preserves input order — results
+are deterministic and identical to the serial path regardless of worker
+count — and degrades to a plain serial loop when one worker is requested
+(or the pool cannot start, e.g. on restricted platforms).
+
+Worker count: ``REPRO_BENCH_WORKERS`` overrides; the default is the CPU
+count.  Functions submitted must be module-level (picklable), taking one
+item.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["default_workers", "parallel_map"]
+
+
+def default_workers() -> int:
+    """Worker count: ``REPRO_BENCH_WORKERS`` or the CPU count."""
+    env = os.environ.get("REPRO_BENCH_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_BENCH_WORKERS must be an integer, got {env!r}"
+            ) from None
+    return os.cpu_count() or 1
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    workers: int | None = None,
+) -> list[R]:
+    """Map ``fn`` over ``items``, preserving order.
+
+    Fans out over a process pool when more than one worker is available
+    and there is more than one item; otherwise runs serially in-process.
+    ``fn`` must be picklable (module-level) for the parallel path.
+    """
+    seq: Sequence[T] = items if isinstance(items, Sequence) else list(items)
+    if workers is None:
+        workers = default_workers()
+    workers = min(workers, len(seq))
+    if workers <= 1:
+        return [fn(item) for item in seq]
+    from concurrent.futures import ProcessPoolExecutor
+
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, seq))
+    except (OSError, ImportError):  # pragma: no cover - no /dev/shm etc.
+        return [fn(item) for item in seq]

@@ -1,0 +1,238 @@
+"""Wall-time benchmark of the simulation pipeline itself.
+
+This measures the reproduction's own machinery, not the simulated cluster:
+for a figure-style sweep it times each pipeline stage — elimination-list
+construction, DAG build, event-loop simulation — through both the
+reference path (``TaskGraph`` + pure-Python simulator) and the compiled
+path (:class:`~repro.dag.compiled.CompiledGraph` + array core), and
+reports the end-to-end speedup.  ``repro bench`` drives it and can emit a
+machine-readable ``BENCH_*.json`` for CI regression tracking.
+
+The micro benchmark is a fixed small point (m=64, n=8) whose compiled
+wall-time is stable enough to gate CI on (>2x regression fails).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.bench.runner import (
+    BenchSetup,
+    bench_scale,
+    run_config_sweep,
+    sweep_m_values,
+)
+from repro.hqr.config import HQRConfig
+from repro.hqr.hierarchy import hqr_elimination_list
+
+__all__ = [
+    "bench_report",
+    "check_regression",
+    "default_points",
+    "format_report",
+    "micro_benchmark",
+    "write_report",
+]
+
+#: tile columns of the benchmark sweep (the figures' N = 16 * 280)
+N_TILES = 16
+
+#: the fixed micro-benchmark point
+MICRO_M, MICRO_N = 64, 8
+
+
+def default_points(setup: BenchSetup) -> list[tuple[int, int, HQRConfig]]:
+    """The Figure 6(a) point set: high tree x a x the M sweep."""
+    points = []
+    for high in ("greedy", "binary", "flat", "fibonacci"):
+        for a in (1, 4, 8):
+            for m in sweep_m_values():
+                cfg = HQRConfig(
+                    p=setup.grid_p,
+                    q=setup.grid_q,
+                    a=a,
+                    low_tree="greedy",
+                    high_tree=high,
+                    domino=False,
+                )
+                points.append((m, N_TILES, cfg))
+    return points
+
+
+def _time_stages(
+    points: list[tuple[int, int, HQRConfig]],
+    setup: BenchSetup,
+    pipeline: str,
+) -> dict:
+    """Accumulated per-stage seconds over a point set, one pipeline.
+
+    ``pipeline`` is ``"reference"`` (TaskGraph + pure-Python loop) or
+    ``"compiled"`` (CompiledGraph + array core).  Stages are timed
+    serially for clean attribution.
+    """
+    elim_s = build_s = sim_s = 0.0
+    makespans = []
+    for m, n, cfg in points:
+        t0 = time.perf_counter()
+        elims = hqr_elimination_list(m, n, cfg)
+        t1 = time.perf_counter()
+        if pipeline == "reference":
+            from repro.dag.graph import TaskGraph
+
+            graph = TaskGraph.from_eliminations(elims, m, n)
+            t2 = time.perf_counter()
+            res = setup.simulator().run_reference(graph)
+        else:
+            from repro.dag.compiled import compiled_from_eliminations
+            from repro.runtime.compiled import simulate_compiled
+
+            cg = compiled_from_eliminations(
+                elims, m, n, setup.layout, setup.machine, setup.b
+            )
+            t2 = time.perf_counter()
+            res = simulate_compiled(cg, setup.machine, setup.b)
+        t3 = time.perf_counter()
+        elim_s += t1 - t0
+        build_s += t2 - t1
+        sim_s += t3 - t2
+        makespans.append(res.makespan)
+    return {
+        "elim_s": elim_s,
+        "build_s": build_s,
+        "sim_s": sim_s,
+        "total_s": elim_s + build_s + sim_s,
+        "makespans": makespans,
+    }
+
+
+def micro_benchmark(setup: BenchSetup, *, repeats: int = 3) -> dict:
+    """Best-of-N wall time of one small point through both pipelines."""
+    cfg = HQRConfig(p=setup.grid_p, q=setup.grid_q, a=4)
+    point = [(MICRO_M, MICRO_N, cfg)]
+    best = {}
+    for pipeline in ("reference", "compiled"):
+        times = []
+        for _ in range(repeats):
+            times.append(_time_stages(point, setup, pipeline)["total_s"])
+        best[pipeline] = min(times)
+    return {
+        "m": MICRO_M,
+        "n": MICRO_N,
+        "reference_s": best["reference"],
+        "compiled_s": best["compiled"],
+        "speedup": best["reference"] / best["compiled"]
+        if best["compiled"] > 0
+        else float("inf"),
+    }
+
+
+def bench_report(
+    *,
+    skip_reference: bool = False,
+    workers: int | None = None,
+    setup: BenchSetup | None = None,
+) -> dict:
+    """Full pipeline benchmark: staged timings + parallel-sweep wall time.
+
+    The staged sections time both pipelines serially over the Figure 6
+    point set; ``sweep_wall_s`` is the same point set end-to-end through
+    ``run_config_sweep`` (exercising the cache and the parallel engine).
+    """
+    from repro._ccore import native_available
+
+    setup = setup or BenchSetup()
+    points = default_points(setup)
+    report: dict = {
+        "benchmark": "simulator-pipeline",
+        "scale": bench_scale(),
+        "native_core": native_available(),
+        "platform": platform.platform(),
+        "n_points": len(points),
+        "points_m_max": max(m for m, _, _ in points),
+    }
+
+    stages: dict = {}
+    compiled = _time_stages(points, setup, "compiled")
+    stages["compiled"] = {k: v for k, v in compiled.items() if k != "makespans"}
+    if not skip_reference:
+        reference = _time_stages(points, setup, "reference")
+        stages["reference"] = {
+            k: v for k, v in reference.items() if k != "makespans"
+        }
+        if reference["makespans"] != compiled["makespans"]:
+            raise RuntimeError(
+                "compiled pipeline diverged from the reference simulator"
+            )
+        report["speedup_total"] = (
+            reference["total_s"] / compiled["total_s"]
+            if compiled["total_s"] > 0
+            else float("inf")
+        )
+    report["stages"] = stages
+
+    t0 = time.perf_counter()
+    run_config_sweep(points, setup, workers=workers)
+    report["sweep_wall_s"] = time.perf_counter() - t0
+
+    report["micro"] = micro_benchmark(setup)
+    return report
+
+
+def format_report(report: dict) -> str:
+    """Human-readable rendering of a bench report."""
+    lines = [
+        f"simulator pipeline benchmark  (scale={report['scale']}, "
+        f"{report['n_points']} points, native_core={report['native_core']})",
+    ]
+    for name in ("reference", "compiled"):
+        st = report["stages"].get(name)
+        if st is None:
+            continue
+        lines.append(
+            f"  {name:>9}: elim {st['elim_s']:7.3f}s  "
+            f"build {st['build_s']:7.3f}s  sim {st['sim_s']:7.3f}s  "
+            f"total {st['total_s']:7.3f}s"
+        )
+    if "speedup_total" in report:
+        lines.append(f"  end-to-end speedup: {report['speedup_total']:.1f}x")
+    lines.append(f"  cached parallel sweep: {report['sweep_wall_s']:.3f}s")
+    micro = report["micro"]
+    lines.append(
+        f"  micro (m={micro['m']}, n={micro['n']}): "
+        f"reference {micro['reference_s'] * 1e3:.1f}ms, "
+        f"compiled {micro['compiled_s'] * 1e3:.1f}ms "
+        f"({micro['speedup']:.1f}x)"
+    )
+    return "\n".join(lines)
+
+
+def write_report(report: dict, path: str | Path) -> None:
+    """Write a bench report as JSON (the ``BENCH_*.json`` artifact)."""
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def check_regression(
+    report: dict, baseline_path: str | Path, max_ratio: float = 2.0
+) -> str | None:
+    """Compare the micro benchmark against a committed baseline.
+
+    Returns an error message when the compiled micro wall-time regressed
+    by more than ``max_ratio``, else None.  A missing/invalid baseline is
+    not an error (first run, new platform).
+    """
+    try:
+        baseline = json.loads(Path(baseline_path).read_text())
+        base_s = float(baseline["micro"]["compiled_s"])
+    except (OSError, KeyError, ValueError, TypeError):
+        return None
+    now_s = float(report["micro"]["compiled_s"])
+    if base_s > 0 and now_s > base_s * max_ratio:
+        return (
+            f"micro benchmark regressed {now_s / base_s:.2f}x "
+            f"(baseline {base_s * 1e3:.1f}ms, now {now_s * 1e3:.1f}ms, "
+            f"limit {max_ratio:.1f}x)"
+        )
+    return None

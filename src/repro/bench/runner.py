@@ -16,6 +16,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
+from repro.bench.parallel import parallel_map
 from repro.dag.graph import TaskGraph
 from repro.hqr.config import HQRConfig
 from repro.hqr.hierarchy import hqr_elimination_list
@@ -85,10 +86,24 @@ def run_eliminations(
     setup: BenchSetup | None = None,
     layout: Layout | None = None,
 ) -> SimulationResult:
-    """Simulate an elimination list under a bench setup."""
+    """Simulate an elimination list under a bench setup.
+
+    Uses the compiled array pipeline (elimination list straight to a
+    :class:`~repro.dag.compiled.CompiledGraph`, no Task objects) unless
+    ``REPRO_SIM_CORE=reference``.
+    """
     setup = setup or BenchSetup()
-    graph = TaskGraph.from_eliminations(elims, m, n)
-    return setup.simulator(layout).run(graph)
+    from repro.runtime.compiled import core_mode
+
+    if core_mode() == "reference":
+        graph = TaskGraph.from_eliminations(elims, m, n)
+        return setup.simulator(layout).run(graph)
+    from repro.dag.compiled import compiled_from_eliminations
+    from repro.runtime.compiled import simulate_compiled
+
+    lay = layout if layout is not None else setup.layout
+    cg = compiled_from_eliminations(elims, m, n, lay, setup.machine, setup.b)
+    return simulate_compiled(cg, setup.machine, setup.b)
 
 
 def run_config(
@@ -98,7 +113,49 @@ def run_config(
     setup: BenchSetup | None = None,
     layout: Layout | None = None,
 ) -> SimulationResult:
-    """Build the HQR elimination list for ``config`` and simulate it."""
-    return run_eliminations(
-        hqr_elimination_list(m, n, config), m, n, setup=setup, layout=layout
+    """Build the HQR elimination list for ``config`` and simulate it.
+
+    Compiled graphs are memoized across calls — keyed by a fingerprint of
+    ``(m, n, b, config, layout, machine)`` — so sweeps that revisit a
+    config (the explorer, repeated figure runs) skip DAG construction.
+    """
+    setup = setup or BenchSetup()
+    from repro.runtime.compiled import core_mode
+
+    if core_mode() == "reference":
+        return run_eliminations(
+            hqr_elimination_list(m, n, config), m, n, setup=setup, layout=layout
+        )
+    from repro.dag.cache import default_cache, fingerprint
+    from repro.dag.compiled import compiled_from_eliminations
+    from repro.runtime.compiled import simulate_compiled
+
+    lay = layout if layout is not None else setup.layout
+    key = fingerprint(m, n, config, lay, setup.machine, setup.b)
+    cg = default_cache().get_or_build(
+        key,
+        lambda: compiled_from_eliminations(
+            hqr_elimination_list(m, n, config), m, n, lay, setup.machine, setup.b
+        ),
     )
+    return simulate_compiled(cg, setup.machine, setup.b)
+
+
+def _run_point(item) -> SimulationResult:
+    """One sweep point (module-level: picklable for the process pool)."""
+    m, n, config, setup, layout = item
+    return run_config(m, n, config, setup=setup, layout=layout)
+
+
+def run_config_sweep(
+    points,
+    setup: BenchSetup | None = None,
+    *,
+    workers: int | None = None,
+) -> list[SimulationResult]:
+    """Simulate many ``(m, n, config)`` points through the parallel sweep
+    engine, preserving input order (results are identical for any worker
+    count)."""
+    setup = setup or BenchSetup()
+    items = [(m, n, cfg, setup, None) for m, n, cfg in points]
+    return parallel_map(_run_point, items, workers=workers)

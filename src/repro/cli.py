@@ -225,6 +225,41 @@ def cmd_auto(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    import os
+
+    from repro.bench.perf import (
+        bench_report,
+        check_regression,
+        format_report,
+        write_report,
+    )
+
+    saved = os.environ.get("REPRO_BENCH_SCALE")
+    if args.scale:
+        os.environ["REPRO_BENCH_SCALE"] = args.scale
+    try:
+        report = bench_report(
+            skip_reference=args.skip_reference, workers=args.workers
+        )
+    finally:
+        if args.scale:
+            if saved is None:
+                os.environ.pop("REPRO_BENCH_SCALE", None)
+            else:
+                os.environ["REPRO_BENCH_SCALE"] = saved
+    print(format_report(report))
+    if args.json:
+        write_report(report, args.json)
+        print(f"wrote {args.json}")
+    if args.baseline:
+        error = check_regression(report, args.baseline, args.max_regression)
+        if error:
+            print(f"REGRESSION: {error}", file=sys.stderr)
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -289,6 +324,34 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("replay", help="validate an elimination-list file")
     p.add_argument("file")
     p.set_defaults(fn=cmd_replay)
+
+    p = sub.add_parser(
+        "bench", help="benchmark the simulation pipeline itself"
+    )
+    p.add_argument("--json", help="write the machine-readable report here")
+    p.add_argument(
+        "--scale",
+        choices=("small", "default", "full"),
+        help="override REPRO_BENCH_SCALE for this run",
+    )
+    p.add_argument(
+        "--skip-reference",
+        action="store_true",
+        help="time only the compiled pipeline (no reference comparison)",
+    )
+    p.add_argument(
+        "--workers", type=int, help="parallel sweep workers (default: CPUs)"
+    )
+    p.add_argument(
+        "--baseline", help="BENCH_*.json to compare the micro benchmark against"
+    )
+    p.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="fail when micro wall-time exceeds baseline by this ratio",
+    )
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("auto", help="pick a configuration automatically")
     p.add_argument("--m", type=int, default=128)

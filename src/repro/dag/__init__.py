@@ -16,6 +16,7 @@ from repro.dag.analysis import (
     parallelism_profile,
     total_weight,
     theoretical_total_weight,
+    upward_ranks,
 )
 
 __all__ = [
@@ -25,4 +26,5 @@ __all__ = [
     "parallelism_profile",
     "total_weight",
     "theoretical_total_weight",
+    "upward_ranks",
 ]

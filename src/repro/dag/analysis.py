@@ -54,6 +54,24 @@ def critical_path_weight(graph: TaskGraph, *, unit: bool = False) -> float:
     return max(dist, default=0.0)
 
 
+def upward_ranks(graph: TaskGraph) -> list[float]:
+    """Longest weighted path from each task to an exit (HEFT's upward rank).
+
+    Uses the graph's lazily built successor lists; shared by the
+    critical-path scheduling priority and the performance model.
+    """
+    n = len(graph.tasks)
+    succs = graph.successors
+    rank = [0.0] * n
+    for t in reversed(range(n)):
+        best = 0.0
+        for s in succs[t]:
+            if rank[s] > best:
+                best = rank[s]
+        rank[t] = best + float(graph.tasks[t].weight)
+    return rank
+
+
 def parallelism_profile(graph: TaskGraph) -> list[int]:
     """Tasks eligible per unit step under infinite resources (unit weights).
 

@@ -1,0 +1,198 @@
+"""Memoization of compiled task graphs.
+
+Building a :class:`~repro.dag.compiled.CompiledGraph` is deterministic in
+``(m, n, b, HQRConfig, Layout, Machine)`` — the elimination list is a pure
+function of the config, and placement/durations are pure functions of the
+layout and machine.  This module caches compiled graphs under a SHA-256
+fingerprint of those inputs: an in-memory LRU for the common
+sweep-over-one-config case, backed by an ``.npz`` store under the repro
+cache directory so repeated paper-scale runs skip DAG construction
+entirely.
+
+Disk entries embed the fingerprint and a format version; anything stale —
+version bump, truncated file, fingerprint mismatch (hash collision in the
+file name space) — is rejected and rebuilt.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Callable
+from zipfile import BadZipFile
+
+import numpy as np
+
+from repro._ccore import cache_root
+from repro.dag.compiled import CompiledGraph
+from repro.hqr.config import HQRConfig
+from repro.runtime.machine import Machine
+from repro.tiles.layout import Layout
+
+__all__ = [
+    "CACHE_VERSION",
+    "CompiledGraphCache",
+    "default_cache",
+    "fingerprint",
+]
+
+#: bump when the CompiledGraph array layout or builder semantics change
+CACHE_VERSION = 1
+
+_ARRAY_FIELDS = (
+    "kind",
+    "row",
+    "panel",
+    "col",
+    "killer",
+    "pred_ptr",
+    "pred_idx",
+    "succ_ptr",
+    "succ_idx",
+    "node",
+    "edge_slot",
+    "dur_table",
+)
+
+
+def fingerprint(
+    m: int,
+    n: int,
+    config: HQRConfig,
+    layout: Layout,
+    machine: Machine,
+    b: int,
+) -> str:
+    """Deterministic key over everything a compiled graph depends on.
+
+    Any field change in the config (trees, ``a``, domino, grid), the
+    layout (class or parameters), or the machine (rates, network, shape)
+    yields a different digest.
+    """
+    payload = {
+        "version": CACHE_VERSION,
+        "m": m,
+        "n": n,
+        "b": b,
+        "config": dataclasses.asdict(config),
+        "layout": {
+            "class": type(layout).__name__,
+            "params": {k: v for k, v in sorted(vars(layout).items())},
+        },
+        "machine": dataclasses.asdict(machine),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class CompiledGraphCache:
+    """Two-level (memory + disk) cache of compiled graphs.
+
+    ``get``/``put`` take the fingerprint key; ``get_or_build`` wraps the
+    usual lookup-else-build-else-store dance.  Disk persistence is atomic
+    (tmp file + ``os.replace``) and failure-tolerant: any I/O or format
+    problem silently degrades to a rebuild.
+    """
+
+    def __init__(self, root: Path | None = None, memory_slots: int = 32):
+        self.root = Path(root) if root is not None else cache_root() / "graphs"
+        self.memory_slots = memory_slots
+        self._memory: OrderedDict[str, CompiledGraph] = OrderedDict()
+
+    # -- memory ------------------------------------------------------- #
+    def _remember(self, key: str, cg: CompiledGraph) -> None:
+        mem = self._memory
+        mem[key] = cg
+        mem.move_to_end(key)
+        while len(mem) > self.memory_slots:
+            mem.popitem(last=False)
+
+    # -- disk --------------------------------------------------------- #
+    def _path(self, key: str) -> Path:
+        return self.root / f"cg_{key[:32]}.npz"
+
+    def _load_disk(self, key: str) -> CompiledGraph | None:
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as data:
+                if (
+                    str(data["fingerprint"]) != key
+                    or int(data["cache_version"]) != CACHE_VERSION
+                ):
+                    return None  # stale or colliding entry: rebuild
+                arrays = {f: data[f] for f in _ARRAY_FIELDS}
+                return CompiledGraph(
+                    m=int(data["m"]),
+                    n=int(data["n"]),
+                    nslots=int(data["nslots"]),
+                    **arrays,
+                )
+        except (OSError, KeyError, ValueError, BadZipFile):
+            return None
+
+    def _store_disk(self, key: str, cg: CompiledGraph) -> None:
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(suffix=".npz", dir=self.root)
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    np.savez(
+                        fh,
+                        fingerprint=key,
+                        cache_version=CACHE_VERSION,
+                        m=cg.m,
+                        n=cg.n,
+                        nslots=cg.nslots,
+                        **{f: getattr(cg, f) for f in _ARRAY_FIELDS},
+                    )
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            pass  # read-only cache dir etc. — memory cache still works
+
+    # -- public ------------------------------------------------------- #
+    def get(self, key: str) -> CompiledGraph | None:
+        cg = self._memory.get(key)
+        if cg is not None:
+            self._memory.move_to_end(key)
+            return cg
+        cg = self._load_disk(key)
+        if cg is not None:
+            self._remember(key, cg)
+        return cg
+
+    def put(self, key: str, cg: CompiledGraph) -> None:
+        self._remember(key, cg)
+        self._store_disk(key, cg)
+
+    def get_or_build(
+        self, key: str, builder: Callable[[], CompiledGraph]
+    ) -> CompiledGraph:
+        cg = self.get(key)
+        if cg is None:
+            cg = builder()
+            self.put(key, cg)
+        return cg
+
+    def clear_memory(self) -> None:
+        self._memory.clear()
+
+
+_default: CompiledGraphCache | None = None
+
+
+def default_cache() -> CompiledGraphCache:
+    """Process-wide cache instance (respects ``REPRO_CACHE_DIR``)."""
+    global _default
+    if _default is None:
+        _default = CompiledGraphCache()
+    return _default

@@ -1,0 +1,423 @@
+"""Structure-of-arrays task graph for the compiled simulation pipeline.
+
+:class:`CompiledGraph` flattens a kernel DAG into numpy arrays — int8 kind
+codes, CSR predecessor/successor adjacency, per-task node placement, a
+6-entry per-kernel-kind duration table, and precomputed message slots for
+cross-node edges — so the event-loop core (:mod:`repro.runtime.compiled`)
+touches only flat arrays and scalar ints.  Graphs can be compiled from an
+existing :class:`~repro.dag.graph.TaskGraph` or built directly from an
+elimination list (bypassing per-task Python objects entirely; a native C
+builder is used when available).  Compiled graphs are cacheable — see
+:mod:`repro.dag.cache`.
+
+Kind codes follow the :class:`~repro.kernels.weights.KernelKind`
+declaration order: GEQRT=0, UNMQR=1, TSQRT=2, TSMQR=3, TTQRT=4, TTMQR=5.
+"""
+
+from __future__ import annotations
+
+import ctypes
+from dataclasses import dataclass
+from itertools import chain
+from typing import Sequence
+
+import numpy as np
+
+from repro import _ccore
+from repro.dag.graph import TaskGraph
+from repro.kernels.weights import WEIGHTS, KernelKind
+from repro.runtime.machine import Machine
+from repro.tiles.layout import Block1D, BlockCyclic2D, Cyclic1D, Layout, SingleNode
+from repro.trees.base import Elimination
+
+#: kernel kinds in code order (index == code)
+KIND_ORDER: tuple[KernelKind, ...] = tuple(KernelKind)
+KIND_CODE: dict[KernelKind, int] = {k: i for i, k in enumerate(KIND_ORDER)}
+#: per-code weight in b^3/3 units
+KIND_WEIGHTS = np.array([WEIGHTS[k] for k in KIND_ORDER], dtype=np.float64)
+
+
+def duration_table(machine: Machine, b: int) -> np.ndarray:
+    """Per-kernel-kind execution seconds — 6 entries instead of ``ntasks``
+    calls to ``machine.task_seconds``."""
+    return np.array([machine.task_seconds(k, b) for k in KIND_ORDER])
+
+
+@dataclass
+class CompiledGraph:
+    """Flat-array form of a kernel DAG, bound to a layout and machine.
+
+    ``pred_ptr``/``pred_idx`` and ``succ_ptr``/``succ_idx`` are CSR
+    adjacency (successor lists ascending, matching
+    ``TaskGraph.successors``).  ``edge_slot`` is aligned with ``succ_idx``:
+    ``-1`` for a node-local edge, otherwise the index of the unique
+    (producer, destination-node) message this edge rides on — the
+    array-world replacement for the reference simulator's ``sent`` dict.
+    """
+
+    m: int
+    n: int
+    kind: np.ndarray  # int8[ntasks]
+    row: np.ndarray  # int32[ntasks]
+    panel: np.ndarray  # int32[ntasks]
+    col: np.ndarray  # int32[ntasks], -1 for factorization kernels
+    killer: np.ndarray  # int32[ntasks], -1 where not applicable
+    pred_ptr: np.ndarray  # int64[ntasks+1]
+    pred_idx: np.ndarray  # int32[nedges]
+    succ_ptr: np.ndarray  # int64[ntasks+1]
+    succ_idx: np.ndarray  # int32[nedges]
+    node: np.ndarray  # int32[ntasks] — placement under the layout
+    edge_slot: np.ndarray  # int32[nedges], aligned with succ_idx
+    nslots: int  # distinct cross-node (producer, dest) pairs
+    dur_table: np.ndarray  # float64[6] seconds per kernel kind
+
+    @property
+    def ntasks(self) -> int:
+        return len(self.kind)
+
+    def __len__(self) -> int:
+        return len(self.kind)
+
+    @property
+    def durations(self) -> np.ndarray:
+        """Per-task execution seconds (duration-table gather)."""
+        return self.dur_table[self.kind]
+
+    @property
+    def pred_counts(self) -> np.ndarray:
+        """In-degree of each task (int32) — the scheduler's wait counts."""
+        return np.diff(self.pred_ptr).astype(np.int32)
+
+    def total_flop_weight(self) -> float:
+        """Sum of kernel weights in ``b^3/3`` units."""
+        return float(KIND_WEIGHTS[self.kind].sum())
+
+
+# --------------------------------------------------------------------- #
+# placement
+# --------------------------------------------------------------------- #
+def placement_array(
+    layout: Layout, row: np.ndarray, panel: np.ndarray, col: np.ndarray
+) -> np.ndarray:
+    """Vectorized task placement: node owning each task's victim-row tile.
+
+    Mirrors ``ClusterSimulator.placement`` — the column is the trailing
+    column for update kernels, the panel otherwise.  Known layouts are
+    computed with array arithmetic; unknown subclasses fall back to the
+    layout's scalar ``owner``.
+    """
+    c = np.where(col < 0, panel, col)
+    if isinstance(layout, BlockCyclic2D):
+        out = (row % layout.p) * layout.q + (c % layout.q)
+    elif isinstance(layout, Cyclic1D):
+        out = (row // layout.block) % layout.p
+    elif isinstance(layout, Block1D):
+        out = np.minimum(row // layout.chunk, layout.p - 1)
+    elif isinstance(layout, SingleNode):
+        out = np.zeros(len(row), dtype=np.int32)
+    else:
+        owner = layout.owner
+        out = np.fromiter(
+            (owner(int(i), int(j)) for i, j in zip(row, c)), np.int32, len(row)
+        )
+    return np.ascontiguousarray(out, dtype=np.int32)
+
+
+# --------------------------------------------------------------------- #
+# CSR helpers
+# --------------------------------------------------------------------- #
+def _succ_csr(
+    pred_ptr: np.ndarray, pred_idx: np.ndarray, ntasks: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reverse the predecessor CSR into successor CSR (ascending lists)."""
+    counts = np.diff(pred_ptr)
+    consumer = np.repeat(np.arange(ntasks, dtype=np.int32), counts)
+    # stable sort by producer keeps consumers ascending per producer,
+    # matching the order TaskGraph builds its successor lists in
+    order = np.argsort(pred_idx, kind="stable")
+    succ_idx = np.ascontiguousarray(consumer[order], dtype=np.int32)
+    succ_counts = np.bincount(pred_idx, minlength=ntasks)
+    succ_ptr = np.zeros(ntasks + 1, dtype=np.int64)
+    np.cumsum(succ_counts, out=succ_ptr[1:])
+    return succ_ptr, succ_idx
+
+
+def _edge_slots(
+    node: np.ndarray, succ_ptr: np.ndarray, succ_idx: np.ndarray, nnodes: int
+) -> tuple[np.ndarray, int]:
+    """Message slot per successor edge: unique (producer, dest) pairs."""
+    ntasks = len(node)
+    producer = np.repeat(np.arange(ntasks, dtype=np.int64), np.diff(succ_ptr))
+    dest = node[succ_idx].astype(np.int64)
+    cross = dest != node[producer]
+    edge_slot = np.full(len(succ_idx), -1, dtype=np.int32)
+    pairs = producer[cross] * nnodes + dest[cross]
+    if len(pairs):
+        uniq, inverse = np.unique(pairs, return_inverse=True)
+        edge_slot[cross] = inverse.astype(np.int32)
+        nslots = len(uniq)
+    else:
+        nslots = 0
+    return np.ascontiguousarray(edge_slot), nslots
+
+
+def _finish(
+    m: int,
+    n: int,
+    kind: np.ndarray,
+    row: np.ndarray,
+    panel: np.ndarray,
+    col: np.ndarray,
+    killer: np.ndarray,
+    pred_ptr: np.ndarray,
+    pred_idx: np.ndarray,
+    layout: Layout,
+    machine: Machine,
+    b: int,
+) -> CompiledGraph:
+    ntasks = len(kind)
+    succ_ptr, succ_idx = _succ_csr(pred_ptr, pred_idx, ntasks)
+    node = placement_array(layout, row, panel, col)
+    edge_slot, nslots = _edge_slots(node, succ_ptr, succ_idx, machine.nodes)
+    return CompiledGraph(
+        m=m,
+        n=n,
+        kind=kind,
+        row=row,
+        panel=panel,
+        col=col,
+        killer=killer,
+        pred_ptr=pred_ptr,
+        pred_idx=pred_idx,
+        succ_ptr=succ_ptr,
+        succ_idx=succ_idx,
+        node=node,
+        edge_slot=edge_slot,
+        nslots=nslots,
+        dur_table=duration_table(machine, b),
+    )
+
+
+# --------------------------------------------------------------------- #
+# compile from an existing TaskGraph
+# --------------------------------------------------------------------- #
+def compile_graph(
+    graph: TaskGraph, layout: Layout, machine: Machine, b: int
+) -> CompiledGraph:
+    """Flatten an already-built :class:`TaskGraph` (any elimination list,
+    including the random/baseline generators)."""
+    tasks = graph.tasks
+    ntasks = len(tasks)
+    code = KIND_CODE
+    kind = np.fromiter((code[t.kind] for t in tasks), np.int8, ntasks)
+    row = np.fromiter((t.row for t in tasks), np.int32, ntasks)
+    panel = np.fromiter((t.panel for t in tasks), np.int32, ntasks)
+    col = np.fromiter((t.col for t in tasks), np.int32, ntasks)
+    killer = np.fromiter((t.killer for t in tasks), np.int32, ntasks)
+    preds = graph.predecessors
+    counts = np.fromiter(map(len, preds), np.int64, ntasks)
+    pred_ptr = np.zeros(ntasks + 1, dtype=np.int64)
+    np.cumsum(counts, out=pred_ptr[1:])
+    pred_idx = np.fromiter(
+        chain.from_iterable(preds), np.int32, int(pred_ptr[-1])
+    )
+    return _finish(
+        graph.m, graph.n, kind, row, panel, col, killer,
+        pred_ptr, pred_idx, layout, machine, b,
+    )
+
+
+# --------------------------------------------------------------------- #
+# build directly from an elimination list (no Task objects)
+# --------------------------------------------------------------------- #
+def count_tasks(elims: Sequence[Elimination], m: int, n: int) -> int:
+    """Exact task count of ``TaskGraph.from_eliminations`` without building
+    it — drives array preallocation for the native builder."""
+    tri = bytearray(m * n)
+    ntasks = 0
+    for e in elims:
+        upd = n - 1 - e.panel
+        idx = e.killer * n + e.panel
+        if not tri[idx]:
+            tri[idx] = 1
+            ntasks += 1 + upd
+        if not e.ts:
+            idx = e.victim * n + e.panel
+            if not tri[idx]:
+                tri[idx] = 1
+                ntasks += 1 + upd
+        ntasks += 1 + upd
+    if m <= n and not tri[(m - 1) * n + (m - 1)]:
+        ntasks += 1 + (n - m)
+    return ntasks
+
+
+def _build_arrays_native(
+    elims: Sequence[Elimination], m: int, n: int
+) -> tuple | None:
+    lib = _ccore.get_lib()
+    if lib is None:
+        return None
+    nelims = len(elims)
+    e_panel = np.fromiter((e.panel for e in elims), np.int32, nelims)
+    e_victim = np.fromiter((e.victim for e in elims), np.int32, nelims)
+    e_killer = np.fromiter((e.killer for e in elims), np.int32, nelims)
+    e_ts = np.fromiter((e.ts for e in elims), np.uint8, nelims)
+    ntasks = count_tasks(elims, m, n)
+    kind = np.empty(ntasks, np.int8)
+    row = np.empty(ntasks, np.int32)
+    panel = np.empty(ntasks, np.int32)
+    col = np.empty(ntasks, np.int32)
+    killer = np.empty(ntasks, np.int32)
+    pred_ptr = np.empty(ntasks + 1, np.int64)
+    pred_idx = np.empty(max(3 * ntasks, 1), np.int32)
+
+    def p(arr, typ):
+        return arr.ctypes.data_as(ctypes.POINTER(typ))
+
+    i8, u8 = ctypes.c_int8, ctypes.c_uint8
+    i32, i64, = ctypes.c_int32, ctypes.c_int64
+    nedges = lib.hqr_build_dag(
+        i32(m), i32(n), i64(nelims),
+        p(e_panel, i32), p(e_victim, i32), p(e_killer, i32), p(e_ts, u8),
+        i64(ntasks),
+        p(kind, i8), p(row, i32), p(panel, i32), p(col, i32), p(killer, i32),
+        p(pred_ptr, i64), p(pred_idx, i32),
+    )
+    if nedges < 0:  # pragma: no cover - allocation failure / count bug
+        return None
+    return kind, row, panel, col, killer, pred_ptr, pred_idx[:nedges].copy()
+
+
+def _build_arrays_py(elims: Sequence[Elimination], m: int, n: int) -> tuple:
+    """Pure-Python array builder — same emission order as
+    ``TaskGraph.from_eliminations``, appending plain ints instead of
+    creating :class:`Task` objects."""
+    kind_l: list[int] = []
+    row_l: list[int] = []
+    panel_l: list[int] = []
+    col_l: list[int] = []
+    killer_l: list[int] = []
+    pred_ptr_l: list[int] = [0]
+    pred_idx_l: list[int] = []
+    last_writer = [-1] * (m * n)
+    triangled = bytearray(m * n)
+
+    kind_append = kind_l.append
+    row_append = row_l.append
+    panel_append = panel_l.append
+    col_append = col_l.append
+    killer_append = killer_l.append
+    ptr_append = pred_ptr_l.append
+    idx_append = pred_idx_l.append
+
+    def emit(kc: int, row: int, panel: int, killer: int = -1) -> int:
+        tid = len(kind_l)
+        ndeps = 0
+        c = panel
+        if killer >= 0:
+            idx = killer * n + c
+            w = last_writer[idx]
+            if w >= 0:
+                idx_append(w)
+                ndeps = 1
+            last_writer[idx] = tid
+        idx = row * n + c
+        w = last_writer[idx]
+        if w >= 0 and (ndeps == 0 or w != pred_idx_l[-1]):
+            idx_append(w)
+        last_writer[idx] = tid
+        kind_append(kc)
+        row_append(row)
+        panel_append(panel)
+        col_append(-1)
+        killer_append(killer)
+        ptr_append(len(pred_idx_l))
+        return tid
+
+    def triangularize(row: int, panel: int) -> None:
+        idx = row * n + panel
+        if triangled[idx]:
+            return
+        triangled[idx] = 1
+        fact = emit(0, row, panel)  # GEQRT
+        base = row * n
+        for col in range(panel + 1, n):
+            tid = len(kind_l)
+            w = last_writer[base + col]
+            idx_append(fact)
+            if w >= 0:
+                idx_append(w)
+            last_writer[base + col] = tid
+            kind_append(1)  # UNMQR
+            row_append(row)
+            panel_append(panel)
+            col_append(col)
+            killer_append(-1)
+            ptr_append(len(pred_idx_l))
+
+    for e in elims:
+        victim, killer, panel = e.victim, e.killer, e.panel
+        triangularize(killer, panel)
+        if e.ts:
+            kill, update = 2, 3  # TSQRT, TSMQR
+        else:
+            triangularize(victim, panel)
+            kill, update = 4, 5  # TTQRT, TTMQR
+        kid = emit(kill, victim, panel, killer=killer)
+        base_k = killer * n
+        base_v = victim * n
+        for col in range(panel + 1, n):
+            tid = len(kind_l)
+            idx_append(kid)
+            w = last_writer[base_k + col]
+            if w >= 0:
+                idx_append(w)
+            last_writer[base_k + col] = tid
+            w = last_writer[base_v + col]
+            if w >= 0:
+                idx_append(w)
+            last_writer[base_v + col] = tid
+            kind_append(update)
+            row_append(victim)
+            panel_append(panel)
+            col_append(col)
+            killer_append(killer)
+            ptr_append(len(pred_idx_l))
+
+    if m <= n:
+        triangularize(m - 1, m - 1)
+
+    return (
+        np.array(kind_l, np.int8),
+        np.array(row_l, np.int32),
+        np.array(panel_l, np.int32),
+        np.array(col_l, np.int32),
+        np.array(killer_l, np.int32),
+        np.array(pred_ptr_l, np.int64),
+        np.array(pred_idx_l, np.int32),
+    )
+
+
+def compiled_from_eliminations(
+    elims: Sequence[Elimination],
+    m: int,
+    n: int,
+    layout: Layout,
+    machine: Machine,
+    b: int,
+) -> CompiledGraph:
+    """Expand an elimination list straight into a :class:`CompiledGraph`.
+
+    Identical task/dependency order to ``TaskGraph.from_eliminations``,
+    without materializing Task objects.  Uses the native builder when
+    available.
+    """
+    arrays = _build_arrays_native(elims, m, n)
+    if arrays is None:
+        arrays = _build_arrays_py(elims, m, n)
+    kind, row, panel, col, killer, pred_ptr, pred_idx = arrays
+    return _finish(
+        m, n, kind, row, panel, col, killer, pred_ptr, pred_idx,
+        layout, machine, b,
+    )

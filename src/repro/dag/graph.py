@@ -43,10 +43,24 @@ class TaskGraph:
         self.n = n
         self.tasks = tasks
         self.predecessors = preds
-        self.successors: list[list[int]] = [[] for _ in tasks]
-        for t, plist in enumerate(preds):
-            for p in plist:
-                self.successors[p].append(t)
+        self._successors: list[list[int]] | None = None
+
+    @property
+    def successors(self) -> list[list[int]]:
+        """Adjacency lists of successor ids, built lazily on first access.
+
+        Many callers (critical-path analysis, the compiled pipeline, pure
+        DAG statistics) only need predecessors; deferring the reverse
+        adjacency build keeps graph construction cheap for them.
+        """
+        succs = self._successors
+        if succs is None:
+            succs = [[] for _ in self.tasks]
+            for t, plist in enumerate(self.predecessors):
+                for p in plist:
+                    succs[p].append(t)
+            self._successors = succs
+        return succs
 
     # ------------------------------------------------------------------ #
     @classmethod

@@ -12,6 +12,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
+from repro.bench.parallel import parallel_map
 from repro.dag.graph import TaskGraph
 from repro.hqr.config import HQRConfig
 from repro.hqr.hierarchy import hqr_elimination_list
@@ -19,6 +20,20 @@ from repro.models.performance import PerformanceModel, Prediction
 from repro.runtime.machine import Machine
 from repro.runtime.simulator import ClusterSimulator
 from repro.tiles.layout import Layout
+
+
+def _rank_one(item) -> Prediction:
+    """Model-predict one candidate (module-level: picklable for the pool)."""
+    m, n, machine, layout, b, cfg = item
+    graph = TaskGraph.from_eliminations(hqr_elimination_list(m, n, cfg), m, n)
+    return PerformanceModel(machine, layout, b).predict(graph)
+
+
+def _verify_one(item) -> float:
+    """Simulate one candidate, returning achieved GFlop/s."""
+    m, n, machine, layout, b, cfg = item
+    graph = TaskGraph.from_eliminations(hqr_elimination_list(m, n, cfg), m, n)
+    return ClusterSimulator(machine, layout, b).run(graph).gflops
 
 
 @dataclass(frozen=True)
@@ -69,24 +84,38 @@ class ConfigExplorer:
                 low_tree=low, high_tree=high, domino=domino,
             )
 
-    def rank(self, configs=None) -> list[RankedConfig]:
-        """Model-predicted ranking, best first."""
-        out = []
-        for cfg in configs if configs is not None else self.space():
-            graph = TaskGraph.from_eliminations(
-                hqr_elimination_list(self.m, self.n, cfg), self.m, self.n
-            )
-            out.append(RankedConfig(config=cfg, prediction=self._model.predict(graph)))
+    def _items(self, configs):
+        return [
+            (self.m, self.n, self.machine, self.layout, self.b, cfg)
+            for cfg in configs
+        ]
+
+    def rank(self, configs=None, *, workers: int | None = None) -> list[RankedConfig]:
+        """Model-predicted ranking, best first.
+
+        Candidates are independent, so they fan out over the parallel
+        sweep engine; the ranking is deterministic for any worker count
+        (the sort key ties back to enumeration order via stable sort).
+        """
+        cfgs = list(configs) if configs is not None else list(self.space())
+        predictions = parallel_map(_rank_one, self._items(cfgs), workers=workers)
+        out = [
+            RankedConfig(config=cfg, prediction=pred)
+            for cfg, pred in zip(cfgs, predictions)
+        ]
         out.sort(key=lambda rc: -rc.gflops)
         return out
 
-    def verify(self, ranked: list[RankedConfig], top: int = 3) -> list[tuple[RankedConfig, float]]:
+    def verify(
+        self,
+        ranked: list[RankedConfig],
+        top: int = 3,
+        *,
+        workers: int | None = None,
+    ) -> list[tuple[RankedConfig, float]]:
         """Simulate the ``top`` model picks; returns (pick, simulated GF/s)."""
-        sim = ClusterSimulator(self.machine, self.layout, self.b)
-        out = []
-        for rc in ranked[:top]:
-            graph = TaskGraph.from_eliminations(
-                hqr_elimination_list(self.m, self.n, rc.config), self.m, self.n
-            )
-            out.append((rc, sim.run(graph).gflops))
-        return out
+        picks = ranked[:top]
+        gflops = parallel_map(
+            _verify_one, self._items(rc.config for rc in picks), workers=workers
+        )
+        return list(zip(picks, gflops))

@@ -24,3 +24,6 @@ __all__ = [
     "ClusterSimulator",
     "SimulationResult",
 ]
+
+# The compiled fast path lives in repro.runtime.compiled (imported lazily
+# by ClusterSimulator.run to avoid a circular import at package init).

@@ -71,6 +71,19 @@ class AcceleratedSimulator:
         self.b = b
 
     def run(self, graph: TaskGraph) -> SimulationResult:
+        """Simulate; dispatches to the compiled array core (bit-identical)
+        unless ``REPRO_SIM_CORE=reference``."""
+        from repro.runtime.compiled import core_mode, simulate_compiled_acc
+
+        if core_mode() != "reference":
+            from repro.dag.compiled import compile_graph
+
+            cg = compile_graph(graph, self.layout, self.machine.base, self.b)
+            return simulate_compiled_acc(cg, self.machine, self.b)
+        return self.run_reference(graph)
+
+    def run_reference(self, graph: TaskGraph) -> SimulationResult:
+        """The reference pure-Python event loop."""
         acc = self.machine
         base, b = acc.base, self.b
         ntasks = len(graph.tasks)

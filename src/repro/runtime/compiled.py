@@ -1,0 +1,571 @@
+"""Compiled event-loop core — the simulators' fast path.
+
+Replays a :class:`~repro.dag.compiled.CompiledGraph` through the same
+discrete-event algorithm as :meth:`ClusterSimulator.run_reference` /
+:meth:`AcceleratedSimulator.run_reference`, but operating only on flat
+arrays and scalar ints:
+
+* events are ``(time, code)`` pairs where the integer code encodes both
+  the event kind and the task id (codes are unique, so heap order is the
+  key total order — identical to the reference's tuple heap);
+* ready queues hold dense priority *ranks* (the rank permutation sorts
+  ``(priority, task id)``, so rank order reproduces the reference's
+  ``(prio, id)`` tie-breaking exactly);
+* the reference's ``sent`` dict becomes a precomputed message-slot array
+  (one slot per distinct cross-node (producer, destination) pair).
+
+Two interchangeable engines run this loop: a native C core
+(:mod:`repro._ccore`, built on demand with the system compiler) and a
+pure-Python fallback.  Both are bit-identical to the reference
+simulators — asserted by the equivalence suite in
+``tests/runtime/test_compiled_equivalence.py``.
+
+``REPRO_SIM_CORE`` selects the engine: ``auto`` (default: C when
+available, else Python), ``c``, ``python``, or ``reference`` (bypass the
+compiled path entirely).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import heapq
+import os
+
+import numpy as np
+
+from repro import _ccore
+from repro.dag.compiled import KIND_ORDER, CompiledGraph
+from repro.runtime.accelerated import ACC_KERNELS
+from repro.runtime.machine import Machine
+from repro.runtime.simulator import SimulationResult, qr_flops
+
+__all__ = [
+    "acc_duration_table",
+    "core_mode",
+    "simulate_compiled",
+    "simulate_compiled_acc",
+]
+
+
+def acc_duration_table(acc_machine, b: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-kernel-kind accelerator seconds and offload-eligibility mask.
+
+    Mirrors the reference scheduler: a kind is offloadable when the machine
+    has accelerators and the kind is an update kernel; ineligible kinds get
+    an accelerator time of 0.0 (never used).
+    """
+    elig = np.array(
+        [
+            1 if (acc_machine.accelerators > 0 and k in ACC_KERNELS) else 0
+            for k in KIND_ORDER
+        ],
+        dtype=np.uint8,
+    )
+    table = np.array(
+        [
+            acc_machine.acc_task_seconds(k, b) if elig[i] else 0.0
+            for i, k in enumerate(KIND_ORDER)
+        ],
+        dtype=np.float64,
+    )
+    return table, elig
+
+
+def core_mode() -> str:
+    """Engine selection from ``REPRO_SIM_CORE`` (auto/c/python/reference)."""
+    mode = os.environ.get("REPRO_SIM_CORE", "auto").lower()
+    if mode not in ("auto", "c", "python", "reference"):
+        raise ValueError(
+            f"REPRO_SIM_CORE must be auto/c/python/reference, got {mode!r}"
+        )
+    return mode
+
+
+def priority_ranks(prio, ntasks: int) -> tuple[np.ndarray, np.ndarray]:
+    """Dense rank permutation of a priority vector.
+
+    Returns ``(rank, task_of_rank)`` with ``rank[t]`` unique and ordered
+    exactly like the reference scheduler's ``(prio[t], t)`` keys; ``None``
+    means program order (identity).
+    """
+    if prio is None:
+        ident = np.arange(ntasks, dtype=np.int32)
+        return ident, ident
+    arr = None
+    try:
+        cand = np.asarray(prio)
+        if cand.shape == (ntasks,) and cand.dtype.kind in "iuf":
+            arr = cand
+    except (ValueError, TypeError):  # ragged / non-numeric priorities
+        arr = None
+    if arr is not None:
+        order = np.lexsort((np.arange(ntasks), arr)).astype(np.int32)
+    else:
+        order = np.array(
+            sorted(range(ntasks), key=lambda t: (prio[t], t)), dtype=np.int32
+        )
+    rank = np.empty(ntasks, dtype=np.int32)
+    rank[order] = np.arange(ntasks, dtype=np.int32)
+    return rank, order
+
+
+def _pick_engine(core: str | None):
+    """Resolve the engine: returns the C library or None for Python."""
+    mode = core or core_mode()
+    if mode == "python":
+        return None
+    lib = _ccore.get_lib()
+    if mode == "c" and lib is None:
+        raise RuntimeError(
+            "REPRO_SIM_CORE=c but the native core is unavailable "
+            "(no C compiler found)"
+        )
+    return lib
+
+
+def _ptr(arr: np.ndarray, typ):
+    return arr.ctypes.data_as(ctypes.POINTER(typ))
+
+
+# --------------------------------------------------------------------- #
+# cluster loop
+# --------------------------------------------------------------------- #
+def simulate_compiled(
+    cg: CompiledGraph,
+    machine: Machine,
+    b: int,
+    *,
+    prio=None,
+    data_reuse: bool = False,
+    M: int | None = None,
+    N: int | None = None,
+    core: str | None = None,
+) -> SimulationResult:
+    """Run the cluster event loop on a compiled graph.
+
+    Bit-identical to ``ClusterSimulator.run_reference`` for the same
+    machine/layout/priority/data-reuse settings (without trace recording).
+    """
+    M = cg.m * b if M is None else M
+    N = cg.n * b if N is None else N
+    ntasks = cg.ntasks
+    tile_bytes = machine.tile_bytes(b)
+    if ntasks == 0:
+        return SimulationResult(0.0, 0.0, 0, 0, 0.0, machine.cores, None)
+
+    dur = np.ascontiguousarray(cg.dur_table[cg.kind])
+    waiting = np.ascontiguousarray(cg.pred_counts)
+    rank, task_of_rank = priority_ranks(prio, ntasks)
+    nnodes = machine.nodes
+    hierarchical = machine.site_size > 0
+    inf = float("inf")
+    bwt_intra = tile_bytes / machine.bandwidth if machine.bandwidth != inf else 0.0
+    bwt_inter = (
+        tile_bytes / machine.inter_site_bandwidth if hierarchical else 0.0
+    )
+    site_of = (
+        np.arange(nnodes, dtype=np.int32) // machine.site_size
+        if hierarchical
+        else np.zeros(nnodes, dtype=np.int32)
+    )
+
+    lib = _pick_engine(core)
+    args = (
+        ntasks,
+        nnodes,
+        machine.cores_per_node,
+        dur,
+        cg.node,
+        waiting,
+        cg.succ_ptr,
+        cg.succ_idx,
+        cg.edge_slot,
+        cg.nslots,
+        rank,
+        task_of_rank,
+        machine.comm_serialized,
+        hierarchical,
+        machine.latency,
+        bwt_intra,
+        machine.inter_site_latency,
+        bwt_inter,
+        site_of,
+        data_reuse,
+    )
+    if lib is not None:
+        result = _c_cluster(lib, *args)
+    else:
+        result = None
+    if result is None:
+        result = _py_cluster(*args)
+    makespan, busy, messages = result
+    return SimulationResult(
+        makespan=makespan,
+        flops=qr_flops(M, N),
+        messages=messages,
+        bytes_sent=messages * tile_bytes,
+        busy_seconds=busy,
+        cores=machine.cores,
+        trace=None,
+    )
+
+
+def _c_cluster(
+    lib, ntasks, nnodes, cores_per_node, dur, node, waiting,
+    succ_ptr, succ_idx, edge_slot, nslots, rank, task_of_rank,
+    serialized, hierarchical, lat_intra, bwt_intra, lat_inter, bwt_inter,
+    site_of, data_reuse,
+):
+    i32, i64, f64 = ctypes.c_int32, ctypes.c_int64, ctypes.c_double
+    out_mk, out_busy = f64(0.0), f64(0.0)
+    out_msgs = i64(0)
+    rc = lib.hqr_simulate_cluster(
+        i64(ntasks), i32(nnodes), i32(cores_per_node),
+        _ptr(dur, f64), _ptr(node, i32), _ptr(waiting, i32),
+        _ptr(succ_ptr, i64), _ptr(succ_idx, i32),
+        _ptr(edge_slot, i32), i64(nslots),
+        _ptr(rank, i32), _ptr(task_of_rank, i32),
+        i32(1 if serialized else 0), i32(1 if hierarchical else 0),
+        f64(lat_intra), f64(bwt_intra), f64(lat_inter), f64(bwt_inter),
+        _ptr(site_of, i32), i32(1 if data_reuse else 0),
+        ctypes.byref(out_mk), ctypes.byref(out_busy), ctypes.byref(out_msgs),
+    )
+    if rc == 1:  # pragma: no cover - cycle guard
+        raise RuntimeError("simulation stalled with unfinished tasks")
+    if rc != 0:  # pragma: no cover - allocation failure: retry in Python
+        return None
+    return out_mk.value, out_busy.value, out_msgs.value
+
+
+def _py_cluster(
+    ntasks, nnodes, cores_per_node, dur, node, waiting,
+    succ_ptr, succ_idx, edge_slot, nslots, rank, task_of_rank,
+    serialized, hierarchical, lat_intra, bwt_intra, lat_inter, bwt_inter,
+    site_of, data_reuse,
+):
+    """Pure-Python flat-array event loop (engine of last resort)."""
+    dur = dur.tolist()
+    node = node.tolist()
+    waiting = waiting.tolist()
+    sp = succ_ptr.tolist()
+    si = succ_idx.tolist()
+    slot_of = edge_slot.tolist()
+    rank = rank.tolist()
+    task_of_rank = task_of_rank.tolist()
+    site = site_of.tolist()
+
+    data_ready = [0.0] * ntasks
+    free_cores = [cores_per_node] * nnodes
+    ready: list[list[int]] = [[] for _ in range(nnodes)]
+    chan_free = [0.0] * nnodes
+    slot_arrival = [-1.0] * nslots
+    state = bytearray(ntasks)  # 0 new, 1 queued, 2 launched
+    events: list[tuple[float, int]] = []
+    push, pop = heapq.heappush, heapq.heappop
+    busy = 0.0
+    finish_time = 0.0
+    messages = 0
+
+    def try_start(t: int, now: float) -> None:
+        nd = node[t]
+        dr = data_ready[t]
+        start = dr if dr > now else now
+        if free_cores[nd] > 0:
+            free_cores[nd] -= 1
+            launch(t, start)
+        else:
+            state[t] = 1
+            push(ready[nd], rank[t])
+
+    def launch(t: int, start: float) -> None:
+        nonlocal busy, finish_time
+        state[t] = 2
+        d = dur[t]
+        end = start + d
+        busy += d
+        if end > finish_time:
+            finish_time = end
+        push(events, (end, t))
+
+    for t in range(ntasks):
+        if waiting[t] == 0:
+            try_start(t, 0.0)
+
+    while events:
+        now, code = pop(events)
+        if code >= ntasks:
+            try_start(code - ntasks, now)
+            continue
+        t = code
+        nd = node[t]
+        nxt = -1
+        if data_reuse:
+            best = -1
+            for i in range(sp[t], sp[t + 1]):
+                s = si[i]
+                if (
+                    state[s] == 1
+                    and node[s] == nd
+                    and data_ready[s] <= now
+                    and (best < 0 or rank[s] < rank[best])
+                ):
+                    best = s
+            nxt = best
+        if nxt < 0:
+            heap = ready[nd]
+            while heap:
+                cand = task_of_rank[pop(heap)]
+                if state[cand] == 1:
+                    nxt = cand
+                    break
+        if nxt >= 0:
+            dr = data_ready[nxt]
+            launch(nxt, dr if dr > now else now)
+        else:
+            free_cores[nd] += 1
+        for i in range(sp[t], sp[t + 1]):
+            s = si[i]
+            slot = slot_of[i]
+            if slot < 0:
+                arrival = now
+            else:
+                arrival = slot_arrival[slot]
+                if arrival < 0:
+                    dest = node[s]
+                    if hierarchical and site[nd] != site[dest]:
+                        lat, bwt = lat_inter, bwt_inter
+                    else:
+                        lat, bwt = lat_intra, bwt_intra
+                    if serialized:
+                        depart = now
+                        if chan_free[nd] > depart:
+                            depart = chan_free[nd]
+                        if chan_free[dest] > depart:
+                            depart = chan_free[dest]
+                        chan_free[nd] = depart + bwt
+                        chan_free[dest] = depart + bwt
+                        arrival = depart + lat + bwt
+                    else:
+                        arrival = now + lat + bwt
+                    slot_arrival[slot] = arrival
+                    messages += 1
+            if arrival > data_ready[s]:
+                data_ready[s] = arrival
+            waiting[s] -= 1
+            if waiting[s] == 0:
+                avail = data_ready[s]
+                if avail <= now:
+                    try_start(s, now)
+                else:
+                    push(events, (avail, ntasks + s))
+
+    if any(w > 0 for w in waiting):  # pragma: no cover - cycle guard
+        raise RuntimeError("simulation stalled with unfinished tasks")
+    return finish_time, busy, messages
+
+
+# --------------------------------------------------------------------- #
+# accelerated-cluster loop
+# --------------------------------------------------------------------- #
+def simulate_compiled_acc(
+    cg: CompiledGraph,
+    acc_machine,
+    b: int,
+    *,
+    core: str | None = None,
+) -> SimulationResult:
+    """Accelerated-cluster event loop on a compiled graph — bit-identical
+    to ``AcceleratedSimulator.run_reference``."""
+    base: Machine = acc_machine.base
+    ntasks = cg.ntasks
+    tile_bytes = base.tile_bytes(b)
+    if ntasks == 0:
+        return SimulationResult(0.0, 0.0, 0, 0, 0.0, base.cores, None)
+
+    cpu_dur = np.ascontiguousarray(cg.dur_table[cg.kind])
+    acc_table, elig = acc_duration_table(acc_machine, b)
+    acc_dur = np.ascontiguousarray(acc_table[cg.kind])
+    offload = np.ascontiguousarray(elig[cg.kind])
+    waiting = np.ascontiguousarray(cg.pred_counts)
+    inf = float("inf")
+    bwt = tile_bytes / base.bandwidth if base.bandwidth != inf else 0.0
+
+    lib = _pick_engine(core)
+    args = (
+        ntasks,
+        base.nodes,
+        base.cores_per_node,
+        acc_machine.accelerators,
+        cpu_dur,
+        acc_dur,
+        offload,
+        cg.node,
+        waiting,
+        cg.succ_ptr,
+        cg.succ_idx,
+        cg.edge_slot,
+        cg.nslots,
+        base.comm_serialized,
+        base.latency,
+        bwt,
+    )
+    if lib is not None:
+        result = _c_acc(lib, *args)
+    else:
+        result = None
+    if result is None:
+        result = _py_acc(*args)
+    makespan, busy, messages = result
+    return SimulationResult(
+        makespan=makespan,
+        flops=qr_flops(cg.m * b, cg.n * b),
+        messages=messages,
+        bytes_sent=messages * tile_bytes,
+        busy_seconds=busy,
+        cores=base.cores,
+        trace=None,
+    )
+
+
+def _c_acc(
+    lib, ntasks, nnodes, cores_per_node, accs, cpu_dur, acc_dur, offload,
+    node, waiting, succ_ptr, succ_idx, edge_slot, nslots, serialized, lat, bwt,
+):
+    i32, i64, f64 = ctypes.c_int32, ctypes.c_int64, ctypes.c_double
+    u8 = ctypes.c_uint8
+    out_mk, out_busy = f64(0.0), f64(0.0)
+    out_msgs = i64(0)
+    rc = lib.hqr_simulate_acc(
+        i64(ntasks), i32(nnodes), i32(cores_per_node), i32(accs),
+        _ptr(cpu_dur, f64), _ptr(acc_dur, f64), _ptr(offload, u8),
+        _ptr(node, i32), _ptr(waiting, i32),
+        _ptr(succ_ptr, i64), _ptr(succ_idx, i32),
+        _ptr(edge_slot, i32), i64(nslots),
+        i32(1 if serialized else 0), f64(lat), f64(bwt),
+        ctypes.byref(out_mk), ctypes.byref(out_busy), ctypes.byref(out_msgs),
+    )
+    if rc == 1:  # pragma: no cover - cycle guard
+        raise RuntimeError("simulation stalled with unfinished tasks")
+    if rc != 0:  # pragma: no cover - allocation failure: retry in Python
+        return None
+    return out_mk.value, out_busy.value, out_msgs.value
+
+
+def _py_acc(
+    ntasks, nnodes, cores_per_node, accs, cpu_dur, acc_dur, offload,
+    node, waiting, succ_ptr, succ_idx, edge_slot, nslots, serialized, lat, bwt,
+):
+    cpu_dur = cpu_dur.tolist()
+    acc_dur = acc_dur.tolist()
+    offload = offload.tolist()
+    node = node.tolist()
+    waiting = waiting.tolist()
+    sp = succ_ptr.tolist()
+    si = succ_idx.tolist()
+    slot_of = edge_slot.tolist()
+
+    data_ready = [0.0] * ntasks
+    free_cores = [cores_per_node] * nnodes
+    free_accs = [accs] * nnodes
+    cpu_heaps: list[list[int]] = [[] for _ in range(nnodes)]
+    acc_heaps: list[list[int]] = [[] for _ in range(nnodes)]
+    chan_free = [0.0] * nnodes
+    slot_arrival = [-1.0] * nslots
+    state = bytearray(ntasks)
+    events: list[tuple[float, int]] = []
+    push, pop = heapq.heappush, heapq.heappop
+    busy = 0.0
+    finish = 0.0
+    messages = 0
+
+    def launch(t: int, start: float, on_acc: bool) -> None:
+        nonlocal busy, finish
+        state[t] = 2
+        d = acc_dur[t] if on_acc else cpu_dur[t]
+        end = start + d
+        busy += d
+        if end > finish:
+            finish = end
+        push(events, (end, (ntasks if on_acc else 0) + t))
+
+    def try_start(t: int, now: float) -> None:
+        nd = node[t]
+        if offload[t] and free_accs[nd] > 0:
+            free_accs[nd] -= 1
+            launch(t, now, True)
+        elif free_cores[nd] > 0:
+            free_cores[nd] -= 1
+            launch(t, now, False)
+        else:
+            state[t] = 1
+            push(acc_heaps[nd] if offload[t] else cpu_heaps[nd], t)
+
+    def pop_ready(heap) -> int:
+        while heap:
+            cand = pop(heap)
+            if state[cand] == 1:
+                return cand
+        return -1
+
+    for t in range(ntasks):
+        if waiting[t] == 0:
+            try_start(t, 0.0)
+
+    while events:
+        now, code = pop(events)
+        if code >= 2 * ntasks:
+            try_start(code - 2 * ntasks, now)
+            continue
+        if code >= ntasks:
+            t = code - ntasks
+            nd = node[t]
+            nxt = pop_ready(acc_heaps[nd])
+            if nxt >= 0:
+                launch(nxt, now, True)
+            else:
+                free_accs[nd] += 1
+        else:
+            t = code
+            nd = node[t]
+            nxt = pop_ready(cpu_heaps[nd])
+            if nxt < 0:
+                nxt = pop_ready(acc_heaps[nd])
+            if nxt >= 0:
+                launch(nxt, now, False)
+            else:
+                free_cores[nd] += 1
+        for i in range(sp[t], sp[t + 1]):
+            s = si[i]
+            slot = slot_of[i]
+            if slot < 0:
+                arrival = now
+            else:
+                arrival = slot_arrival[slot]
+                if arrival < 0:
+                    dest = node[s]
+                    if serialized:
+                        depart = now
+                        if chan_free[nd] > depart:
+                            depart = chan_free[nd]
+                        if chan_free[dest] > depart:
+                            depart = chan_free[dest]
+                        chan_free[nd] = depart + bwt
+                        chan_free[dest] = depart + bwt
+                        arrival = depart + lat + bwt
+                    else:
+                        arrival = now + lat + bwt
+                    slot_arrival[slot] = arrival
+                    messages += 1
+            if arrival > data_ready[s]:
+                data_ready[s] = arrival
+            waiting[s] -= 1
+            if waiting[s] == 0:
+                avail = data_ready[s]
+                if avail <= now:
+                    try_start(s, now)
+                else:
+                    push(events, (avail, 2 * ntasks + s))
+
+    if any(w > 0 for w in waiting):  # pragma: no cover - cycle guard
+        raise RuntimeError("simulation stalled with unfinished tasks")
+    return finish, busy, messages

@@ -9,6 +9,7 @@ paper's §VI proposes to investigate.
 
 from __future__ import annotations
 
+from repro.dag.analysis import upward_ranks
 from repro.dag.graph import TaskGraph
 from repro.dag.tasks import Task
 
@@ -33,15 +34,7 @@ def upward_rank(graph: TaskGraph):
     """Critical-path priority: longest weighted path from each task to an
     exit, negated so that tasks on the critical path run first (HEFT's
     upward rank, restricted to computation weights)."""
-    n = len(graph.tasks)
-    rank = [0.0] * n
-    for t in reversed(range(n)):
-        w = float(graph.tasks[t].weight)
-        best = 0.0
-        for s in graph.successors[t]:
-            if rank[s] > best:
-                best = rank[s]
-        rank[t] = best + w
+    rank = upward_ranks(graph)
 
     def priority(task: Task):
         return (-rank[task.id], task.id)

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 from repro.dag.graph import TaskGraph
 
+from repro.kernels.weights import KernelKind
 from repro.runtime.machine import Machine
 from repro.tiles.layout import Layout
 
@@ -86,7 +87,9 @@ class ClusterSimulator:
         self.machine = machine
         self.layout = layout
         self.b = b
-        self.priority = priority  # callable task -> sortable, lower runs first
+        # priority: callable task -> sortable (lower runs first), or a
+        # precomputed per-task sequence of such keys
+        self.priority = priority
         self.data_reuse = data_reuse  # DAGuE's successor-affinity heuristic
         self.record_trace = record_trace
 
@@ -100,8 +103,50 @@ class ClusterSimulator:
             out.append(owner(t.row, col))
         return out
 
+    def priority_values(self, graph: TaskGraph) -> list | None:
+        """Per-task priority keys, or None for program order."""
+        if self.priority is None:
+            return None
+        if callable(self.priority):
+            return [self.priority(t) for t in graph.tasks]
+        values = list(self.priority)
+        if len(values) != len(graph.tasks):
+            raise ValueError(
+                f"priority sequence has {len(values)} entries for "
+                f"{len(graph.tasks)} tasks"
+            )
+        return values
+
     def run(self, graph: TaskGraph, M: int | None = None, N: int | None = None) -> SimulationResult:
-        """Simulate; ``M``/``N`` default to full tiles (``m*b x n*b``)."""
+        """Simulate; ``M``/``N`` default to full tiles (``m*b x n*b``).
+
+        Dispatches to the compiled array core (see
+        :mod:`repro.runtime.compiled`) unless a trace is requested or
+        ``REPRO_SIM_CORE=reference``; both paths produce bit-identical
+        results.
+        """
+        if not self.record_trace:
+            from repro.runtime.compiled import core_mode, simulate_compiled
+
+            if core_mode() != "reference":
+                from repro.dag.compiled import compile_graph
+
+                cg = compile_graph(graph, self.layout, self.machine, self.b)
+                return simulate_compiled(
+                    cg,
+                    self.machine,
+                    self.b,
+                    prio=self.priority_values(graph),
+                    data_reuse=self.data_reuse,
+                    M=M,
+                    N=N,
+                )
+        return self.run_reference(graph, M, N)
+
+    def run_reference(
+        self, graph: TaskGraph, M: int | None = None, N: int | None = None
+    ) -> SimulationResult:
+        """The reference pure-Python event loop (also the tracing path)."""
         machine, b = self.machine, self.b
         M = graph.m * b if M is None else M
         N = graph.n * b if N is None else N
@@ -110,11 +155,11 @@ class ClusterSimulator:
             return SimulationResult(0.0, 0.0, 0, 0, 0.0, machine.cores, [] if self.record_trace else None)
 
         node_of = self.placement(graph)
-        durations = [machine.task_seconds(t.kind, b) for t in graph.tasks]
-        if self.priority is None:
+        seconds = {k: machine.task_seconds(k, b) for k in KernelKind}
+        durations = [seconds[t.kind] for t in graph.tasks]
+        prio = self.priority_values(graph)
+        if prio is None:
             prio = list(range(ntasks))
-        else:
-            prio = [self.priority(t) for t in graph.tasks]
 
         preds, succs = graph.predecessors, graph.successors
         # waiting[t]: number of (predecessor-data) arrivals still missing

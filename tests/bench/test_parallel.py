@@ -1,0 +1,112 @@
+"""Parallel sweep engine, pipeline benchmark, and the bench CLI."""
+
+import json
+
+import pytest
+
+from repro.bench.parallel import default_workers, parallel_map
+from repro.bench.runner import BenchSetup, run_config_sweep
+from repro.hqr.config import HQRConfig
+from repro.runtime.machine import Machine
+
+
+def _square(x):
+    return x * x
+
+
+def test_parallel_map_serial_order():
+    assert parallel_map(_square, [3, 1, 2], workers=1) == [9, 1, 4]
+
+
+def test_parallel_map_pool_preserves_order():
+    items = list(range(20))
+    assert parallel_map(_square, items, workers=2) == [x * x for x in items]
+
+
+def test_parallel_map_accepts_generators():
+    assert parallel_map(_square, (x for x in (2, 3)), workers=1) == [4, 9]
+
+
+def test_default_workers_env(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_WORKERS", "3")
+    assert default_workers() == 3
+    monkeypatch.setenv("REPRO_BENCH_WORKERS", "0")
+    assert default_workers() == 1
+    monkeypatch.setenv("REPRO_BENCH_WORKERS", "many")
+    with pytest.raises(ValueError):
+        default_workers()
+
+
+def small_setup():
+    return BenchSetup(
+        b=40, grid_p=4, grid_q=2, machine=Machine(nodes=8, cores_per_node=4)
+    )
+
+
+def test_run_config_sweep_matches_serial():
+    setup = small_setup()
+    cfgs = [
+        HQRConfig(p=4, q=2, a=a, high_tree=high)
+        for a in (1, 2)
+        for high in ("flat", "greedy")
+    ]
+    points = [(12, 4, cfg) for cfg in cfgs]
+    serial = run_config_sweep(points, setup, workers=1)
+    pooled = run_config_sweep(points, setup, workers=2)
+    assert [r.makespan for r in serial] == [r.makespan for r in pooled]
+    assert [r.messages for r in serial] == [r.messages for r in pooled]
+
+
+def test_bench_report_smoke(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "small")
+    from repro.bench.perf import bench_report, check_regression, format_report
+
+    setup = small_setup()
+    report = bench_report(workers=1, setup=setup)
+    assert report["scale"] == "small"
+    stages = report["stages"]
+    assert set(stages) == {"reference", "compiled"}
+    for st in stages.values():
+        assert st["total_s"] == pytest.approx(
+            st["elim_s"] + st["build_s"] + st["sim_s"]
+        )
+    assert report["speedup_total"] > 0
+    assert report["micro"]["compiled_s"] > 0
+    assert "cached parallel sweep" in format_report(report)
+    assert check_regression(report, "/nonexistent/baseline.json") is None
+
+
+def test_check_regression_trips(tmp_path):
+    from repro.bench.perf import check_regression
+
+    baseline = {"micro": {"compiled_s": 0.001}}
+    path = tmp_path / "BENCH_base.json"
+    path.write_text(json.dumps(baseline))
+    report = {"micro": {"compiled_s": 0.01}}
+    assert check_regression(report, path, max_ratio=2.0) is not None
+    assert check_regression(report, path, max_ratio=20.0) is None
+
+
+def test_cli_bench_smoke(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "BENCH_test.json"
+    rc = main(
+        [
+            "bench",
+            "--scale",
+            "small",
+            "--skip-reference",
+            "--workers",
+            "1",
+            "--json",
+            str(out),
+        ]
+    )
+    assert rc == 0
+    report = json.loads(out.read_text())
+    assert report["benchmark"] == "simulator-pipeline"
+    assert "compiled" in report["stages"]
+    assert "reference" not in report["stages"]
+    captured = capsys.readouterr()
+    assert "simulator pipeline benchmark" in captured.out
