@@ -32,6 +32,7 @@ __all__ = [
     "bench_report",
     "check_regression",
     "default_points",
+    "format_mismatches",
     "format_report",
     "micro_benchmark",
     "write_report",
@@ -163,9 +164,21 @@ def bench_report(
             k: v for k, v in reference.items() if k != "makespans"
         }
         if reference["makespans"] != compiled["makespans"]:
-            raise RuntimeError(
-                "compiled pipeline diverged from the reference simulator"
-            )
+            # record every diverging point; the CLI prints the diff and
+            # exits non-zero so CI catches engine drift
+            report["mismatches"] = [
+                {
+                    "m": m,
+                    "n": n,
+                    "config": str(cfg),
+                    "reference_makespan": ref_mk,
+                    "compiled_makespan": cmp_mk,
+                }
+                for (m, n, cfg), ref_mk, cmp_mk in zip(
+                    points, reference["makespans"], compiled["makespans"]
+                )
+                if ref_mk != cmp_mk
+            ]
         report["speedup_total"] = (
             reference["total_s"] / compiled["total_s"]
             if compiled["total_s"] > 0
@@ -206,6 +219,24 @@ def format_report(report: dict) -> str:
         f"compiled {micro['compiled_s'] * 1e3:.1f}ms "
         f"({micro['speedup']:.1f}x)"
     )
+    return "\n".join(lines)
+
+
+def format_mismatches(report: dict) -> str | None:
+    """Engine-disagreement diff, or None when the engines agree."""
+    mismatches = report.get("mismatches")
+    if not mismatches:
+        return None
+    lines = [
+        f"ENGINE MISMATCH: compiled and reference simulators disagree on "
+        f"{len(mismatches)} of {report['n_points']} points:"
+    ]
+    for d in mismatches:
+        lines.append(
+            f"  m={d['m']:>4} n={d['n']:>3} {d['config']}: "
+            f"reference {d['reference_makespan']!r} != "
+            f"compiled {d['compiled_makespan']!r}"
+        )
     return "\n".join(lines)
 
 

@@ -9,6 +9,7 @@ levels     print the Figure 5 tile-level views
 compare    HQR vs SCALAPACK / [BBD+10] / [SLHD10] at one matrix size
 explore    rank the HQR configuration space with the analytic model
 gantt      simulate and print a per-node utilization timeline
+faults     fault-injection sweep + recovery benchmark (BENCH_resilience)
 export     write an elimination list as JSON
 replay     validate + summarize an elimination-list JSON file
 """
@@ -161,7 +162,7 @@ def cmd_gantt(args) -> int:
     from repro.bench.runner import BenchSetup
     from repro.dag.graph import TaskGraph
     from repro.hqr.hierarchy import hqr_elimination_list
-    from repro.runtime.trace import ascii_gantt, summarize
+    from repro.runtime.trace import ascii_gantt, summarize, trace_events_json
 
     setup = BenchSetup()
     cfg = _config(args).with_(p=setup.grid_p, q=setup.grid_q)
@@ -173,7 +174,84 @@ def cmd_gantt(args) -> int:
     print(f"{args.m} x {args.n} tiles, {cfg}: {res.gflops:.1f} GFlop/s")
     print(ascii_gantt(res.trace, graph, width=args.width, max_nodes=args.nodes))
     s = summarize(res.trace, graph)
+    per_core = s.per_core_utilization(setup.machine.cores_per_node)
+    mean_util = sum(per_core.values()) / len(per_core) if per_core else 0.0
+    print(f"mean per-core utilization: {mean_util:.2%}")
     print(f"imbalance (max/mean node busy): {s.imbalance():.3f}")
+    if args.trace_out:
+        with open(args.trace_out, "w") as fh:
+            fh.write(trace_events_json(res.trace, graph))
+        print(f"wrote chrome://tracing timeline to {args.trace_out}")
+    return 0
+
+
+def cmd_faults(args) -> int:
+    import os
+
+    from repro.resilience.bench import (
+        format_resilience_report,
+        report_ok,
+        resilience_report,
+        write_resilience_report,
+    )
+
+    saved = os.environ.get("REPRO_BENCH_SCALE")
+    if args.scale:
+        os.environ["REPRO_BENCH_SCALE"] = args.scale
+    try:
+        report = resilience_report(
+            scenarios=args.scenario or None,
+            seed=args.seed,
+            with_distributed_check=not args.no_engine_check,
+        )
+    finally:
+        if args.scale:
+            if saved is None:
+                os.environ.pop("REPRO_BENCH_SCALE", None)
+            else:
+                os.environ["REPRO_BENCH_SCALE"] = saved
+    print(format_resilience_report(report))
+    if args.json:
+        write_resilience_report(report, args.json)
+        print(f"wrote {args.json}")
+    if args.trace_out:
+        from repro.bench.runner import BenchSetup
+        from repro.dag.graph import TaskGraph
+        from repro.hqr.config import HQRConfig
+        from repro.hqr.hierarchy import hqr_elimination_list
+        from repro.resilience import FaultSchedule, ResilientSimulator
+        from repro.runtime.trace import trace_events_json
+
+        setup = BenchSetup()
+        scenario = (args.scenario or ["crash"])[0]
+        cfg = HQRConfig(
+            p=setup.grid_p, q=setup.grid_q, a=4, low_tree="greedy",
+            high_tree="fibonacci", domino=False,
+        )
+        m, n = report["m"], report["n"]
+        graph = TaskGraph.from_eliminations(
+            hqr_elimination_list(m, n, cfg), m, n
+        )
+        sim = ResilientSimulator(
+            setup.machine, setup.layout, setup.b, record_trace=True
+        )
+        schedule = FaultSchedule.scenario(
+            scenario,
+            seed=args.seed,
+            nodes=setup.machine.nodes,
+            horizon=report["baseline_makespan"],
+        )
+        res = sim.run_with_faults(
+            graph, schedule, baseline_makespan=report["baseline_makespan"]
+        )
+        with open(args.trace_out, "w") as fh:
+            fh.write(
+                trace_events_json(res.trace, graph, fault_events=res.fault_events)
+            )
+        print(f"wrote faulty-run timeline to {args.trace_out}")
+    if not report_ok(report):
+        print("FAULT RECOVERY FAILED: see report above", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -252,6 +330,12 @@ def cmd_bench(args) -> int:
     if args.json:
         write_report(report, args.json)
         print(f"wrote {args.json}")
+    from repro.bench.perf import format_mismatches
+
+    diff = format_mismatches(report)
+    if diff:
+        print(diff, file=sys.stderr)
+        return 1
     if args.baseline:
         error = check_regression(report, args.baseline, args.max_regression)
         if error:
@@ -311,8 +395,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=8)
     p.add_argument("--width", type=int, default=72)
     p.add_argument("--nodes", type=int, default=12, help="rows to display")
+    p.add_argument(
+        "--trace-out",
+        help="also write a chrome://tracing trace_event JSON file here",
+    )
     _add_config_args(p)
     p.set_defaults(fn=cmd_gantt)
+
+    p = sub.add_parser(
+        "faults", help="fault-injection sweep and recovery benchmark"
+    )
+    p.add_argument(
+        "--scenario",
+        action="append",
+        help="scenario to sweep (crash, slowdown, message-drop, storm); "
+        "repeatable, default: all",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--scale",
+        choices=("small", "default", "full"),
+        help="override REPRO_BENCH_SCALE for this run",
+    )
+    p.add_argument(
+        "--json",
+        default="benchmarks/results/BENCH_resilience.json",
+        help="write the machine-readable report here ('' to skip)",
+    )
+    p.add_argument(
+        "--no-engine-check",
+        action="store_true",
+        help="skip the real distributed-engine worker-kill check",
+    )
+    p.add_argument(
+        "--trace-out",
+        help="write a trace_event JSON of the first scenario's faulty run",
+    )
+    p.set_defaults(fn=cmd_faults)
 
     p = sub.add_parser("export", help="write an elimination list as JSON")
     p.add_argument("--m", type=int, default=16)

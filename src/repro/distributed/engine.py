@@ -68,6 +68,121 @@ class ThreadComm:
             ) from None
 
 
+class CommTimeout(TimeoutError):
+    """A receive exhausted its bounded retries."""
+
+
+class InjectedWorkerDeath(RuntimeError):
+    """A worker was killed by a :class:`WorkerKill` fault plan."""
+
+
+@dataclass(frozen=True)
+class WorkerKill:
+    """Fault plan: kill ``rank`` after it has executed ``after_tasks`` tasks.
+
+    Only the rank's *first* execution dies; the supervised recovery
+    re-runs it to completion.
+    """
+
+    rank: int
+    after_tasks: int = 0
+
+
+class ResilientComm:
+    """A :class:`ThreadComm` hardened with a send log, bounded-retry
+    receives, and deterministic message-drop injection.
+
+    * every send is **logged**, so a dead rank can be re-executed from
+      scratch: :meth:`replay_to` re-delivers its whole inbox;
+    * ``drop`` (a set of message indices, or a predicate on the global
+      send counter) makes the initial transmission vanish; the receiver's
+      timed-out retry then pulls the payload from the log — modelling
+      sender retransmission on NACK;
+    * :meth:`recv` retries with exponential backoff up to ``max_retries``
+      before raising :class:`CommTimeout`, so a receiver survives the
+      window in which its peer is dead and being recovered.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        *,
+        drop=None,
+        retry_timeout: float = 0.05,
+        max_retries: int = 40,
+        backoff: float = 1.3,
+    ):
+        if retry_timeout <= 0 or max_retries <= 0 or backoff < 1.0:
+            raise ValueError("invalid retry parameters")
+        self._base = ThreadComm(size)
+        self.size = size
+        self._drop = drop if callable(drop) or drop is None else drop.__contains__
+        self.retry_timeout = retry_timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self._lock = threading.Lock()
+        self._log: list[tuple[int, int, int, object]] = []  # dest, tag, src, payload
+        self._lost: dict[tuple[int, int, int], object] = {}  # (dest, src, tag)
+        self.sends = 0
+        self.drops = 0
+        self.retransmits = 0
+        self.recv_retries = 0
+
+    def send(self, payload, dest: int, tag: int, source: int) -> None:
+        with self._lock:
+            index = self.sends
+            self.sends += 1
+            self._log.append((dest, tag, source, payload))
+            dropped = self._drop is not None and self._drop(index)
+            if dropped:
+                self.drops += 1
+                self._lost[(dest, source, tag)] = payload
+        if not dropped:
+            self._base.send(payload, dest, tag, source)
+
+    def recv(self, source: int, tag: int, rank: int, timeout: float | None = None):
+        delay = timeout if timeout is not None else self.retry_timeout
+        for _ in range(self.max_retries):
+            try:
+                return self._base.recv(source, tag, rank, timeout=delay)
+            except TimeoutError:
+                with self._lock:
+                    self.recv_retries += 1
+                    payload = self._lost.pop((rank, source, tag), None)
+                    if payload is not None:
+                        self.retransmits += 1
+                if payload is not None:
+                    return payload
+                delay *= self.backoff
+        raise CommTimeout(
+            f"rank {rank} gave up on tag {tag} from {source} after "
+            f"{self.max_retries} retries"
+        )
+
+    def replay_to(self, rank: int) -> int:
+        """Reset ``rank``'s inbox and re-deliver every message ever sent to
+        it (including dropped ones), so a fresh re-execution of the rank
+        consumes exactly the original message sequence."""
+        with self._lock:
+            with self._base._locks[rank]:
+                self._base._boxes[rank] = {}
+            backlog = [entry for entry in self._log if entry[0] == rank]
+            self._lost = {k: v for k, v in self._lost.items() if k[0] != rank}
+        for dest, tag, source, payload in backlog:
+            self._base.send(payload, dest, tag, source)
+        return len(backlog)
+
+    def stats(self) -> dict:
+        """Counters for reports and tests."""
+        with self._lock:
+            return {
+                "sends": self.sends,
+                "drops": self.drops,
+                "retransmits": self.retransmits,
+                "recv_retries": self.recv_retries,
+            }
+
+
 class MPIComm:  # pragma: no cover - requires mpi4py + mpiexec
     """mpi4py adapter with the ThreadComm interface (one process per rank)."""
 
@@ -141,12 +256,18 @@ class DistributedEngine:
         return out
 
     # ------------------------------------------------------------------ #
-    def run_rank(self, rank: int, A: np.ndarray, b: int) -> RankResult:
+    def run_rank(
+        self, rank: int, A: np.ndarray, b: int, *, on_task=None
+    ) -> RankResult:
         """Run every task placed on ``rank``; returns its final local tiles.
 
         ``A`` is the global input; only tiles owned by ``rank`` are read
         from it (the rest arrive through messages), so in an MPI setting
         each process may pass its local part (others can be garbage).
+
+        ``on_task(rank, tasks_done)`` is called before each task — the
+        fault-injection hook of :class:`ResilientEngine` (it kills the
+        worker by raising from inside).
         """
         graph, layout, comm = self.graph, self.layout, self.comm
         placement = self._placement
@@ -162,6 +283,8 @@ class DistributedEngine:
         for tid, task in enumerate(graph.tasks):
             if placement[tid] != rank:
                 continue
+            if on_task is not None:
+                on_task(rank, ran)
             # gather remote inputs
             for p in graph.predecessors[tid]:
                 src = placement[p]
@@ -249,7 +372,9 @@ class DistributedEngine:
             raise errors[0]
         return results
 
-    def gather_matrix(self, results: dict[int, RankResult], M: int, N: int, b: int) -> np.ndarray:
+    def gather_matrix(
+        self, results: dict[int, RankResult], M: int, N: int, b: int
+    ) -> np.ndarray:
         """Assemble the distributed tiles back into a dense matrix.
 
         A tile's final value lives on the rank that executed its *last
@@ -267,3 +392,85 @@ class DistributedEngine:
                 if holder == res.rank:
                     out.tile(i, j)[...] = data
         return out.array
+
+
+class ResilientEngine(DistributedEngine):
+    """A :class:`DistributedEngine` that survives worker death.
+
+    ``run_threaded`` supervises the worker threads: when a rank dies
+    (injected via :class:`WorkerKill` or a real exception), the
+    supervisor replays the rank's full message log
+    (:meth:`ResilientComm.replay_to`) and re-executes it *inline* — the
+    run gracefully degrades to fewer concurrent workers instead of
+    hanging or failing.  Re-execution is safe because ranks are
+    deterministic: a re-run consumes the same message sequence and
+    produces bit-identical tiles, so peers that already consumed the
+    first attempt's messages are unaffected (duplicates are simply never
+    consumed).  Recoveries are bounded by ``max_recoveries`` per rank;
+    receivers ride out the recovery window on :meth:`ResilientComm.recv`'s
+    bounded retries.
+    """
+
+    def __init__(self, graph: TaskGraph, layout: Layout, comm, *, max_recoveries: int = 2):
+        if not isinstance(comm, ResilientComm):
+            raise TypeError(
+                "ResilientEngine needs a ResilientComm (send log + retries)"
+            )
+        if max_recoveries < 1:
+            raise ValueError("max_recoveries must be >= 1")
+        super().__init__(graph, layout, comm)
+        self.max_recoveries = max_recoveries
+        #: recoveries performed per rank in the last run_threaded call
+        self.last_recoveries: dict[int, int] = {}
+
+    def run_threaded(
+        self, A: np.ndarray, b: int, *, kill: WorkerKill | None = None
+    ) -> dict[int, RankResult]:
+        """Supervised threaded run; ``kill`` injects one worker death."""
+        results: dict[int, RankResult] = {}
+        inbox: "queue.SimpleQueue" = queue.SimpleQueue()
+
+        def on_task(rank: int, done: int) -> None:
+            if kill is not None and rank == kill.rank and done == kill.after_tasks:
+                raise InjectedWorkerDeath(
+                    f"rank {rank} killed after {done} tasks"
+                )
+
+        def worker(rank: int) -> None:
+            try:
+                inbox.put(("ok", rank, self.run_rank(rank, A, b, on_task=on_task)))
+            except BaseException as exc:
+                inbox.put(("dead", rank, exc))
+
+        threads = [
+            threading.Thread(target=worker, args=(r,), daemon=True)
+            for r in range(self.comm.size)
+        ]
+        for th in threads:
+            th.start()
+
+        self.last_recoveries = {}
+        remaining = self.comm.size
+        while remaining:
+            status, rank, payload = inbox.get()
+            if status == "ok":
+                results[rank] = payload
+                remaining -= 1
+                continue
+            tries = self.last_recoveries.get(rank, 0)
+            if tries >= self.max_recoveries:
+                raise RuntimeError(
+                    f"rank {rank} failed {tries + 1} times; giving up"
+                ) from payload
+            self.last_recoveries[rank] = tries + 1
+            self.comm.replay_to(rank)
+            # inline re-execution: the pool degrades to fewer workers
+            # (only injected deaths strike once — the re-run gets no hook)
+            try:
+                results[rank] = self.run_rank(rank, A, b)
+                remaining -= 1
+            except BaseException as exc:
+                inbox.put(("dead", rank, exc))
+        for th in threads:
+            th.join()
+        return results

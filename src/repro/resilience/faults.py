@@ -1,0 +1,241 @@
+"""Deterministic, seed-driven fault schedules.
+
+A :class:`FaultSchedule` is a declarative description of what goes wrong
+during one run: node crashes at absolute times, transient slowdowns
+(a rate multiplier over an interval), and random message drops.  Every
+random choice is derived from ``(seed, index)`` through a stateless
+splitmix64 hash, so a schedule injects exactly the same events on every
+invocation and under every simulation engine — the determinism the
+recovery benchmarks and the equivalence tests rely on.
+
+Named scenarios (:func:`FaultSchedule.scenario`) scale their event times
+to a ``horizon`` (the fault-free makespan of the run under test), so the
+same scenario name stresses a 10-second run and a 200-second run at the
+same relative point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _u01(seed: int, index: int) -> float:
+    """Uniform [0, 1) from a stateless splitmix64 of ``(seed, index)``."""
+    x = (seed * 0x9E3779B97F4A7C15 + index + 1) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 31
+    return x / 2**64
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Node ``node`` fails permanently at time ``time``."""
+
+    node: int
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.node < 0 or self.time < 0:
+            raise ValueError(f"invalid crash: node={self.node}, time={self.time}")
+
+
+@dataclass(frozen=True)
+class Slowdown:
+    """Node ``node`` runs ``factor``x slower during ``[start, end)``.
+
+    Models a straggler: thermal throttling, a co-scheduled job, a failing
+    disk.  ``factor`` multiplies the duration of every task *launched* on
+    the node inside the interval.
+    """
+
+    node: int
+    start: float
+    end: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.node < 0 or self.start < 0 or self.end < self.start:
+            raise ValueError(f"invalid slowdown interval on node {self.node}")
+        if self.factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1, got {self.factor}")
+
+
+@dataclass(frozen=True)
+class MessageDrops:
+    """Each cross-node message is independently lost with ``rate``.
+
+    A dropped message is retransmitted after the schedule's
+    ``retransmit_timeout`` (the receiver's NACK window), delaying the
+    consumer and doubling the wire traffic for that tile.
+    """
+
+    rate: float
+    max_drops: int = 1 << 30
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"drop rate must be in [0, 1], got {self.rate}")
+        if self.max_drops < 0:
+            raise ValueError("max_drops must be >= 0")
+
+
+#: the scenario registry; see :func:`FaultSchedule.scenario`
+_SCENARIOS = ("crash", "slowdown", "message-drop", "storm")
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Names accepted by :func:`FaultSchedule.scenario`."""
+    return _SCENARIOS
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A named, reproducible set of fault events for one run.
+
+    ``detection_latency`` is the failure-detector delay: the time between
+    a crash and the start of recovery (heartbeat timeout in a real
+    runtime).  ``retransmit_timeout`` is the message-loss NACK window.
+    """
+
+    name: str = "custom"
+    seed: int = 0
+    crashes: tuple[NodeCrash, ...] = ()
+    slowdowns: tuple[Slowdown, ...] = ()
+    drops: MessageDrops | None = None
+    detection_latency: float = 0.0
+    retransmit_timeout: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.detection_latency < 0 or self.retransmit_timeout < 0:
+            raise ValueError("latencies must be >= 0")
+        seen = set()
+        for c in self.crashes:
+            if c.node in seen:
+                raise ValueError(f"node {c.node} crashes twice")
+            seen.add(c.node)
+
+    @property
+    def empty(self) -> bool:
+        """True when the schedule injects nothing at all."""
+        return not self.crashes and not self.slowdowns and self.drops is None
+
+    # ------------------------------------------------------------------ #
+    def slowdown_factor(self, node: int, time: float) -> float:
+        """Combined duration multiplier for a task launched now on ``node``."""
+        factor = 1.0
+        for s in self.slowdowns:
+            if s.node == node and s.start <= time < s.end:
+                factor *= s.factor
+        return factor
+
+    def drops_message(self, index: int) -> bool:
+        """Deterministic drop decision for the ``index``-th message."""
+        d = self.drops
+        if d is None or d.rate == 0.0:
+            return False
+        if index >= d.max_drops:
+            return False
+        return _u01(self.seed, index) < d.rate
+
+    def crashed_nodes(self) -> tuple[int, ...]:
+        return tuple(c.node for c in self.crashes)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def scenario(
+        cls,
+        name: str,
+        *,
+        seed: int,
+        nodes: int,
+        horizon: float,
+        severity: float = 1.0,
+    ) -> "FaultSchedule":
+        """Build a named scenario scaled to a run's fault-free makespan.
+
+        ``severity`` is the knob the degradation curves sweep: the number
+        of crashed nodes for ``crash``, the rate multiplier for
+        ``slowdown``, the drop probability multiplier for
+        ``message-drop``; ``storm`` combines all three at once.
+        """
+        if nodes <= 1:
+            raise ValueError("fault scenarios need at least 2 nodes")
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        if severity <= 0:
+            raise ValueError(f"severity must be positive, got {severity}")
+        detection = 0.05 * horizon
+        nack = 0.01 * horizon
+        if name == "crash":
+            return cls(
+                name=name,
+                seed=seed,
+                crashes=_pick_crashes(seed, nodes, horizon, int(round(severity))),
+                detection_latency=detection,
+            )
+        if name == "slowdown":
+            node = int(_u01(seed, 101) * nodes)
+            return cls(
+                name=name,
+                seed=seed,
+                slowdowns=(
+                    Slowdown(
+                        node=node,
+                        start=0.25 * horizon,
+                        end=0.75 * horizon,
+                        factor=2.0 * severity,
+                    ),
+                ),
+            )
+        if name == "message-drop":
+            return cls(
+                name=name,
+                seed=seed,
+                drops=MessageDrops(rate=min(1.0, 0.02 * severity)),
+                retransmit_timeout=nack,
+            )
+        if name == "storm":
+            node = int(_u01(seed, 101) * nodes)
+            crashes = _pick_crashes(seed, nodes, horizon, 1, exclude={node})
+            return cls(
+                name=name,
+                seed=seed,
+                crashes=crashes,
+                slowdowns=(
+                    Slowdown(
+                        node=node,
+                        start=0.2 * horizon,
+                        end=0.6 * horizon,
+                        factor=2.0 * severity,
+                    ),
+                ),
+                drops=MessageDrops(rate=min(1.0, 0.01 * severity)),
+                detection_latency=detection,
+                retransmit_timeout=nack,
+            )
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from {', '.join(_SCENARIOS)}"
+        )
+
+
+def _pick_crashes(
+    seed: int,
+    nodes: int,
+    horizon: float,
+    count: int,
+    exclude: set[int] = frozenset(),
+) -> tuple[NodeCrash, ...]:
+    """``count`` distinct crashed nodes at seed-jittered mid-run times."""
+    count = max(1, min(count, nodes - 1 - len(exclude)))
+    chosen: list[int] = []
+    i = 0
+    while len(chosen) < count:
+        node = int(_u01(seed, 1000 + i) * nodes)
+        i += 1
+        if node not in chosen and node not in exclude:
+            chosen.append(node)
+    return tuple(
+        NodeCrash(node=node, time=horizon * (0.25 + 0.5 * _u01(seed, 2000 + k)))
+        for k, node in enumerate(chosen)
+    )

@@ -24,11 +24,21 @@ class TraceSummary:
 
     @property
     def utilization(self) -> dict[int, float]:
-        """Busy fraction per node (relative to makespan x cores... per-node
-        totals; divide by cores_per_node externally for per-core numbers)."""
+        """Per-node busy time over the makespan.
+
+        This is a *node* total: a node with ``c`` cores saturated the whole
+        run reports ``c``, not 1.0.  Use :meth:`per_core_utilization` for
+        the 0-to-1 per-core fraction.
+        """
         if self.makespan == 0:
             return {n: 0.0 for n in self.node_busy}
         return {n: b / self.makespan for n, b in self.node_busy.items()}
+
+    def per_core_utilization(self, cores_per_node: int) -> dict[int, float]:
+        """Busy fraction per core of each node, in [0, 1]."""
+        if cores_per_node <= 0:
+            raise ValueError(f"cores_per_node must be positive, got {cores_per_node}")
+        return {n: u / cores_per_node for n, u in self.utilization.items()}
 
     def imbalance(self) -> float:
         """max/mean node busy time — 1.0 is perfectly balanced."""
@@ -58,6 +68,95 @@ def summarize(trace: list[tuple[int, int, float, float]], graph: TaskGraph) -> T
         node_busy=node_busy,
         kernel_seconds=kern_sec,
         kernel_counts=kern_cnt,
+    )
+
+
+def trace_events_json(
+    trace: list[tuple[int, int, float, float]],
+    graph: TaskGraph,
+    *,
+    fault_events: list[dict] | None = None,
+) -> str:
+    """Render a trace as Chrome ``trace_event`` JSON.
+
+    Load the result in ``chrome://tracing`` (or Perfetto): one process per
+    node, one thread row per core (cores are assigned greedily from the
+    span intervals), one complete event per executed task.  Injected
+    faults — crashes, recoveries, slowdown windows, message drops from
+    :class:`~repro.resilience.simulate.FaultyRunResult.fault_events` —
+    appear as instant events on the affected node, which makes
+    fault-recovery timelines directly inspectable.
+
+    Times are exported in microseconds (the trace-event unit).
+    """
+    import json
+
+    def us(seconds: float) -> float:
+        return seconds * 1e6
+
+    events: list[dict] = []
+    spans = sorted(trace, key=lambda s: (s[2], s[3], s[0]))
+    core_free: dict[int, list[float]] = {}
+    for task_id, node, start, end in spans:
+        cores = core_free.setdefault(node, [])
+        for core, free in enumerate(cores):
+            if free <= start + 1e-12:
+                break
+        else:
+            core = len(cores)
+            cores.append(0.0)
+        cores[core] = end
+        task = graph.tasks[task_id]
+        events.append(
+            {
+                "name": task.kind.name,
+                "ph": "X",
+                "pid": node,
+                "tid": core,
+                "ts": us(start),
+                "dur": us(end - start),
+                "args": {"task": task_id, "row": task.row, "panel": task.panel},
+            }
+        )
+    for node in core_free:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": node,
+                "args": {"name": f"node {node}"},
+            }
+        )
+    for ev in fault_events or ():
+        kind = ev.get("type", "fault")
+        node = ev.get("node", ev.get("dst", 0))
+        if kind == "slowdown":
+            events.append(
+                {
+                    "name": f"slowdown x{ev['factor']:g}",
+                    "ph": "X",
+                    "pid": node,
+                    "tid": 0,
+                    "ts": us(ev["start"]),
+                    "dur": us(ev["end"] - ev["start"]),
+                    "cname": "terrible",
+                    "args": ev,
+                }
+            )
+        else:
+            events.append(
+                {
+                    "name": kind,
+                    "ph": "i",
+                    "s": "g",
+                    "pid": node,
+                    "tid": 0,
+                    "ts": us(ev.get("time", 0.0)),
+                    "args": ev,
+                }
+            )
+    return json.dumps(
+        {"traceEvents": events, "displayTimeUnit": "ms"}, sort_keys=True
     )
 
 

@@ -87,6 +87,54 @@ def test_check_regression_trips(tmp_path):
     assert check_regression(report, path, max_ratio=20.0) is None
 
 
+def test_format_mismatches():
+    from repro.bench.perf import format_mismatches
+
+    assert format_mismatches({"n_points": 3}) is None
+    report = {
+        "n_points": 3,
+        "mismatches": [
+            {
+                "m": 24,
+                "n": 16,
+                "config": "HQR(...)",
+                "reference_makespan": 1.0,
+                "compiled_makespan": 1.1,
+            }
+        ],
+    }
+    text = format_mismatches(report)
+    assert "ENGINE MISMATCH" in text
+    assert "m=  24" in text
+
+
+def test_cli_bench_exits_nonzero_on_engine_mismatch(monkeypatch, capsys):
+    """The satellite contract: engine disagreement is a hard CLI failure
+    with a printed diff, not a buried report field."""
+    import repro.cli as cli
+
+    bad_report = {
+        "benchmark": "simulator-pipeline",
+        "scale": "small",
+        "native_core": False,
+        "n_points": 1,
+        "stages": {},
+        "sweep_wall_s": 0.0,
+        "micro": {"m": 64, "n": 8, "reference_s": 1e-3, "compiled_s": 1e-3,
+                  "speedup": 1.0},
+        "mismatches": [
+            {"m": 64, "n": 8, "config": "cfg", "reference_makespan": 1.0,
+             "compiled_makespan": 2.0}
+        ],
+    }
+    monkeypatch.setattr(
+        "repro.bench.perf.bench_report", lambda **kw: bad_report
+    )
+    rc = cli.main(["bench", "--scale", "small"])
+    assert rc == 1
+    assert "ENGINE MISMATCH" in capsys.readouterr().err
+
+
 def test_cli_bench_smoke(tmp_path, capsys):
     from repro.cli import main
 

@@ -1,0 +1,59 @@
+"""The ``repro faults`` and ``repro gantt --trace-out`` CLI surfaces."""
+
+import json
+
+from repro.cli import main
+
+
+def test_cli_faults_writes_report(tmp_path, capsys):
+    out = tmp_path / "BENCH_resilience.json"
+    rc = main(
+        [
+            "faults",
+            "--scale", "small",
+            "--scenario", "crash",
+            "--scenario", "slowdown",
+            "--no-engine-check",
+            "--json", str(out),
+        ]
+    )
+    assert rc == 0
+    report = json.loads(out.read_text())
+    assert report["benchmark"] == "resilience"
+    assert set(report["scenarios"]) == {"crash", "slowdown"}
+    assert "distributed_kill" not in report
+    captured = capsys.readouterr()
+    assert "resilience benchmark" in captured.out
+    assert "fault-free makespan" in captured.out
+
+
+def test_cli_faults_trace_out(tmp_path):
+    trace = tmp_path / "faulty.json"
+    rc = main(
+        [
+            "faults",
+            "--scale", "small",
+            "--scenario", "crash",
+            "--no-engine-check",
+            "--json", "",
+            "--trace-out", str(trace),
+        ]
+    )
+    assert rc == 0
+    doc = json.loads(trace.read_text())
+    phases = {e["ph"] for e in doc["traceEvents"]}
+    assert "X" in phases
+    assert "i" in phases  # crash + recovery instants
+
+
+def test_cli_gantt_trace_out(tmp_path, capsys):
+    trace = tmp_path / "gantt.json"
+    rc = main(
+        ["gantt", "--m", "12", "--n", "4", "--trace-out", str(trace)]
+    )
+    assert rc == 0
+    doc = json.loads(trace.read_text())
+    assert any(e["ph"] == "X" for e in doc["traceEvents"])
+    captured = capsys.readouterr()
+    assert "mean per-core utilization" in captured.out
+    assert str(trace) in captured.out

@@ -1,0 +1,126 @@
+"""Fault schedules: validation, determinism, named scenarios."""
+
+import pytest
+
+from repro.resilience.faults import (
+    FaultSchedule,
+    MessageDrops,
+    NodeCrash,
+    Slowdown,
+    _u01,
+    scenario_names,
+)
+
+
+class TestHash:
+    def test_deterministic(self):
+        assert _u01(7, 3) == _u01(7, 3)
+
+    def test_in_unit_interval(self):
+        for i in range(200):
+            assert 0.0 <= _u01(0, i) < 1.0
+
+    def test_seed_sensitivity(self):
+        assert _u01(1, 0) != _u01(2, 0)
+        assert _u01(1, 0) != _u01(1, 1)
+
+
+class TestEventValidation:
+    def test_crash_rejects_negative(self):
+        with pytest.raises(ValueError):
+            NodeCrash(node=-1, time=1.0)
+        with pytest.raises(ValueError):
+            NodeCrash(node=0, time=-1.0)
+
+    def test_slowdown_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            Slowdown(node=0, start=2.0, end=1.0, factor=2.0)
+
+    def test_slowdown_rejects_speedup(self):
+        with pytest.raises(ValueError):
+            Slowdown(node=0, start=0.0, end=1.0, factor=0.5)
+
+    def test_drops_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            MessageDrops(rate=1.5)
+
+    def test_schedule_rejects_double_crash(self):
+        with pytest.raises(ValueError):
+            FaultSchedule(
+                crashes=(NodeCrash(0, 1.0), NodeCrash(0, 2.0)),
+            )
+
+
+class TestSchedule:
+    def test_empty(self):
+        assert FaultSchedule().empty
+        assert not FaultSchedule(crashes=(NodeCrash(0, 1.0),)).empty
+        assert not FaultSchedule(drops=MessageDrops(rate=0.1)).empty
+
+    def test_slowdown_factor_composes_overlaps(self):
+        sched = FaultSchedule(
+            slowdowns=(
+                Slowdown(0, 0.0, 10.0, 2.0),
+                Slowdown(0, 5.0, 10.0, 3.0),
+                Slowdown(1, 0.0, 10.0, 7.0),
+            )
+        )
+        assert sched.slowdown_factor(0, 1.0) == 2.0
+        assert sched.slowdown_factor(0, 6.0) == 6.0
+        assert sched.slowdown_factor(0, 10.0) == 1.0  # end-exclusive
+        assert sched.slowdown_factor(2, 1.0) == 1.0
+
+    def test_drop_decisions_deterministic_and_rate_bounded(self):
+        sched = FaultSchedule(seed=3, drops=MessageDrops(rate=0.25))
+        decisions = [sched.drops_message(i) for i in range(2000)]
+        assert decisions == [sched.drops_message(i) for i in range(2000)]
+        rate = sum(decisions) / len(decisions)
+        assert 0.15 < rate < 0.35
+
+    def test_max_drops_cap(self):
+        sched = FaultSchedule(seed=0, drops=MessageDrops(rate=1.0, max_drops=5))
+        assert sum(sched.drops_message(i) for i in range(100)) == 5
+
+
+class TestScenarios:
+    def test_names(self):
+        assert set(scenario_names()) >= {"crash", "slowdown", "message-drop"}
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_deterministic_given_seed(self, name):
+        a = FaultSchedule.scenario(name, seed=9, nodes=8, horizon=10.0)
+        b = FaultSchedule.scenario(name, seed=9, nodes=8, horizon=10.0)
+        assert a == b
+
+    def test_crash_severity_is_node_count(self):
+        s = FaultSchedule.scenario("crash", seed=0, nodes=8, horizon=10.0, severity=3)
+        assert len(s.crashes) == 3
+        assert len({c.node for c in s.crashes}) == 3
+        for c in s.crashes:
+            assert 0.25 * 10 <= c.time <= 0.75 * 10
+
+    def test_crash_count_capped_below_cluster_size(self):
+        s = FaultSchedule.scenario("crash", seed=0, nodes=4, horizon=10.0, severity=99)
+        assert len(s.crashes) <= 3  # at least one survivor
+
+    def test_events_scale_with_horizon(self):
+        small = FaultSchedule.scenario("crash", seed=5, nodes=8, horizon=1.0)
+        big = FaultSchedule.scenario("crash", seed=5, nodes=8, horizon=100.0)
+        assert big.crashes[0].time == pytest.approx(100 * small.crashes[0].time)
+        assert big.crashed_nodes() == small.crashed_nodes()
+
+    def test_storm_combines_all_fault_kinds(self):
+        s = FaultSchedule.scenario("storm", seed=0, nodes=8, horizon=10.0)
+        assert s.crashes and s.slowdowns and s.drops is not None
+        # the straggler must not also be the crashed node
+        assert s.slowdowns[0].node not in s.crashed_nodes()
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            FaultSchedule.scenario("meteor", seed=0, nodes=8, horizon=10.0)
+
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(ValueError):
+            FaultSchedule.scenario("crash", seed=0, nodes=1, horizon=10.0)
+        with pytest.raises(ValueError):
+            FaultSchedule.scenario("crash", seed=0, nodes=8, horizon=0.0)

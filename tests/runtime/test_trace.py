@@ -6,7 +6,7 @@ from repro.dag import TaskGraph
 from repro.hqr import HQRConfig, hqr_elimination_list
 from repro.kernels.weights import KernelKind
 from repro.runtime import ClusterSimulator, Machine
-from repro.runtime.trace import ascii_gantt, summarize
+from repro.runtime.trace import ascii_gantt, summarize, trace_events_json
 from repro.tiles.layout import BlockCyclic2D, Block1D
 
 
@@ -55,6 +55,72 @@ class TestSummarize:
         s = summarize([], g)
         assert s.makespan == 0.0
         assert s.imbalance() == 1.0
+
+    def test_per_core_utilization_in_unit_interval(self):
+        g, res = run_traced(12, 6, BlockCyclic2D(2, 2))
+        s = summarize(res.trace, g)
+        mach = Machine.edel()
+        per_core = s.per_core_utilization(mach.cores_per_node)
+        assert set(per_core) == set(s.utilization)
+        for node, u in per_core.items():
+            assert 0.0 <= u <= 1.0
+            assert u == pytest.approx(
+                s.utilization[node] / mach.cores_per_node
+            )
+
+    def test_per_core_utilization_rejects_bad_core_count(self):
+        g, res = run_traced(12, 6, BlockCyclic2D(2, 2))
+        s = summarize(res.trace, g)
+        with pytest.raises(ValueError):
+            s.per_core_utilization(0)
+
+
+class TestTraceEventsJson:
+    def test_valid_json_with_one_event_per_span(self):
+        import json
+
+        g, res = run_traced(12, 6, BlockCyclic2D(2, 2))
+        doc = json.loads(trace_events_json(res.trace, g))
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == len(res.trace)
+        for e in complete:
+            assert e["dur"] >= 0
+            assert e["name"] in {k.name for k in KernelKind}
+
+    def test_core_rows_respect_parallelism(self):
+        """Greedy core assignment never stacks overlapping spans on one
+        thread row, and never uses more rows than the node has cores."""
+        import json
+
+        g, res = run_traced(16, 8, BlockCyclic2D(2, 2))
+        doc = json.loads(trace_events_json(res.trace, g))
+        mach = Machine.edel()
+        rows = {}
+        for e in doc["traceEvents"]:
+            if e["ph"] != "X":
+                continue
+            assert e["tid"] < mach.cores_per_node
+            rows.setdefault((e["pid"], e["tid"]), []).append(
+                (e["ts"], e["ts"] + e["dur"])
+            )
+        for spans in rows.values():
+            spans.sort()
+            for (_, end), (start, _) in zip(spans, spans[1:]):
+                assert start >= end - 1e-6
+
+    def test_fault_events_rendered(self):
+        import json
+
+        g, res = run_traced(12, 6, BlockCyclic2D(2, 2))
+        faults = [
+            {"type": "crash", "time": 0.001, "node": 1},
+            {"type": "slowdown", "node": 0, "start": 0.0, "end": 0.002,
+             "factor": 2.0},
+        ]
+        doc = json.loads(trace_events_json(res.trace, g, fault_events=faults))
+        names = [e["name"] for e in doc["traceEvents"]]
+        assert "crash" in names
+        assert any(n.startswith("slowdown") for n in names)
 
 
 class TestGantt:
