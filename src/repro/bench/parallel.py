@@ -54,10 +54,12 @@ def parallel_map(
     workers = min(workers, len(seq))
     if workers <= 1:
         return [fn(item) for item in seq]
-    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(fn, seq))
-    except (OSError, ImportError):  # pragma: no cover - no /dev/shm etc.
+    except (OSError, ImportError, BrokenExecutor):
+        # pool cannot start (no /dev/shm etc.) or a worker died mid-map
+        # (BrokenProcessPool): rerun the whole map serially in-process
         return [fn(item) for item in seq]

@@ -131,13 +131,20 @@ def run_config(
     from repro.runtime.compiled import simulate_compiled
 
     lay = layout if layout is not None else setup.layout
-    key = fingerprint(m, n, config, lay, setup.machine, setup.b)
-    cg = default_cache().get_or_build(
-        key,
-        lambda: compiled_from_eliminations(
+
+    def build():
+        return compiled_from_eliminations(
             hqr_elimination_list(m, n, config), m, n, lay, setup.machine, setup.b
-        ),
-    )
+        )
+
+    try:
+        key = fingerprint(m, n, config, lay, setup.machine, setup.b)
+    except TypeError:
+        # custom layout with attributes that have no stable serialization:
+        # skip memoization rather than cache under an unstable key
+        cg = build()
+    else:
+        cg = default_cache().get_or_build(key, build)
     return simulate_compiled(cg, setup.machine, setup.b)
 
 

@@ -10,6 +10,7 @@ compare    HQR vs SCALAPACK / [BBD+10] / [SLHD10] at one matrix size
 explore    rank the HQR configuration space with the analytic model
 gantt      simulate and print a per-node utilization timeline
 faults     fault-injection sweep + recovery benchmark (BENCH_resilience)
+verify     cross-engine differential verifier + schedule-legality oracle
 export     write an elimination list as JSON
 replay     validate + summarize an elimination-list JSON file
 """
@@ -255,6 +256,44 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    import json
+
+    from repro.verify.runner import (
+        format_report,
+        replay_report,
+        verify,
+        write_report,
+    )
+
+    if args.replay:
+        with open(args.replay) as fh:
+            report = json.load(fh)
+        still = replay_report(report)
+        if still:
+            print(f"{len(still)} failure(s) still reproduce:", file=sys.stderr)
+            for f in still:
+                print(f"- [{f.kind}] {f.case.describe()}", file=sys.stderr)
+            return 1
+        print(f"all {len(report.get('failures', []))} reported failures are fixed")
+        return 0
+
+    report = verify(
+        seed=args.seed,
+        budget=args.budget,
+        shrink=not args.no_shrink,
+        max_failures=args.max_failures,
+    )
+    print(format_report(report))
+    if args.json:
+        write_report(report, args.json)
+        print(f"wrote {args.json}")
+    if not report["ok"]:
+        print("VERIFICATION FAILED: see report above", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_export(args) -> int:
     from repro.hqr.hierarchy import hqr_elimination_list
     from repro.io import eliminations_to_json
@@ -432,6 +471,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a trace_event JSON of the first scenario's faulty run",
     )
     p.set_defaults(fn=cmd_faults)
+
+    p = sub.add_parser(
+        "verify",
+        help="differential verifier: all engines bitwise-equal + oracle",
+    )
+    p.add_argument("--seed", type=int, default=0, help="sampling seed")
+    p.add_argument(
+        "--budget", type=int, default=200, help="number of sampled cases"
+    )
+    p.add_argument(
+        "--json", help="write the machine-readable report here"
+    )
+    p.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report raw failing cases without minimization",
+    )
+    p.add_argument(
+        "--max-failures",
+        type=int,
+        default=10,
+        help="stop sampling after this many failures",
+    )
+    p.add_argument(
+        "--replay",
+        help="re-run the minimized failures of a previous JSON report "
+        "instead of sampling",
+    )
+    p.set_defaults(fn=cmd_verify)
 
     p = sub.add_parser("export", help="write an elimination list as JSON")
     p.add_argument("--m", type=int, default=16)

@@ -17,6 +17,7 @@ file name space) — is rejected and rebuilt.
 from __future__ import annotations
 
 import dataclasses
+import enum
 import hashlib
 import json
 import os
@@ -60,6 +61,43 @@ _ARRAY_FIELDS = (
 )
 
 
+def _canonical(value, path: str = "payload"):
+    """Reduce ``value`` to JSON-stable primitives, or raise ``TypeError``.
+
+    Fingerprints must be equal across processes for equal inputs, so only
+    values with process-independent serializations are accepted.  The old
+    ``json.dumps(..., default=repr)`` escape hatch silently produced a
+    *different* digest per process for any object whose repr embeds a
+    memory address (``<... at 0x7f...>``) — the disk cache then never hit.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return [type(value).__name__, _canonical(value.value, path)]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _canonical(getattr(value, f.name), f"{path}.{f.name}")
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v, f"{path}[{i}]") for i, v in enumerate(value)]
+    if isinstance(value, dict):
+        out = {}
+        for k in sorted(value, key=str):
+            if not isinstance(k, (str, int)):
+                raise TypeError(
+                    f"fingerprint: non-primitive dict key {k!r} at {path}"
+                )
+            out[str(k)] = _canonical(value[k], f"{path}[{k!r}]")
+        return out
+    if isinstance(value, np.generic):
+        return _canonical(value.item(), path)
+    raise TypeError(
+        f"fingerprint: cannot canonicalize {type(value).__name__} at {path}; "
+        "its serialization would not be stable across processes"
+    )
+
+
 def fingerprint(
     m: int,
     n: int,
@@ -72,21 +110,24 @@ def fingerprint(
 
     Any field change in the config (trees, ``a``, domino, grid), the
     layout (class or parameters), or the machine (rates, network, shape)
-    yields a different digest.
+    yields a different digest.  Equal inputs produce equal digests in any
+    process; inputs carrying fields with no stable serialization (custom
+    layout attributes holding arbitrary objects) raise ``TypeError``
+    rather than silently defeating the cache.
     """
     payload = {
         "version": CACHE_VERSION,
         "m": m,
         "n": n,
         "b": b,
-        "config": dataclasses.asdict(config),
+        "config": _canonical(config, "config"),
         "layout": {
             "class": type(layout).__name__,
-            "params": {k: v for k, v in sorted(vars(layout).items())},
+            "params": _canonical(dict(vars(layout)), "layout"),
         },
-        "machine": dataclasses.asdict(machine),
+        "machine": _canonical(machine, "machine"),
     }
-    blob = json.dumps(payload, sort_keys=True, default=repr)
+    blob = json.dumps(payload, sort_keys=True)
     return hashlib.sha256(blob.encode()).hexdigest()
 
 

@@ -29,13 +29,45 @@ def work_seconds(graph: TaskGraph, machine: Machine, b: int) -> float:
     return sum(machine.task_seconds(t.kind, b) for t in graph.tasks)
 
 
+def topological_order(graph: TaskGraph) -> list[int]:
+    """A topological order of the task ids (Kahn's algorithm).
+
+    Program order from :meth:`TaskGraph.from_eliminations` already is one
+    (every edge points forward), and that fast path is detected in O(E);
+    hand-built graphs with permuted ids get an explicit sort.
+    """
+    preds = graph.predecessors
+    if all(p < t for t, plist in enumerate(preds) for p in plist):
+        return list(range(len(preds)))
+    indegree = [len(plist) for plist in preds]
+    succs = graph.successors
+    frontier = [t for t, d in enumerate(indegree) if d == 0]
+    order: list[int] = []
+    while frontier:
+        t = frontier.pop()
+        order.append(t)
+        for s in succs[t]:
+            indegree[s] -= 1
+            if indegree[s] == 0:
+                frontier.append(s)
+    if len(order) != len(preds):
+        raise ValueError("task graph contains a dependency cycle")
+    return order
+
+
 def critical_path_seconds(graph: TaskGraph, machine: Machine, b: int) -> float:
-    """Weighted longest path with per-kernel rates (seconds)."""
-    dist = [0.0] * len(graph.tasks)
-    for t, task in enumerate(graph.tasks):
-        d = machine.task_seconds(task.kind, b)
+    """Weighted longest path with per-kernel rates (seconds).
+
+    Walks an explicit topological order, so the result is correct even
+    when ``graph.tasks`` is not listed in program (topological) order.
+    """
+    tasks = graph.tasks
+    preds = graph.predecessors
+    dist = [0.0] * len(tasks)
+    for t in topological_order(graph):
+        d = machine.task_seconds(tasks[t].kind, b)
         best = 0.0
-        for p in graph.predecessors[t]:
+        for p in preds[t]:
             if dist[p] > best:
                 best = dist[p]
         dist[t] = best + d

@@ -87,12 +87,20 @@ class ResilientSimulator(ClusterSimulator):
         M: int | None = None,
         N: int | None = None,
         baseline_makespan: float | None = None,
+        *,
+        force_fault_loop: bool = False,
     ) -> FaultyRunResult:
         """Simulate under ``schedule``; empty schedules take the ordinary
-        (compiled, bit-identical) path."""
+        (compiled, bit-identical) path.
+
+        ``force_fault_loop=True`` runs the fault-injecting event loop even
+        for an empty schedule instead of delegating — the loop itself is
+        bit-identical to the ordinary engines then, and the differential
+        verifier (:mod:`repro.verify`) exercises it as a fourth engine.
+        """
         if baseline_makespan is None:
             baseline_makespan = self.run(graph, M, N).makespan
-        if schedule.empty:
+        if schedule.empty and not force_fault_loop:
             res = self.run(graph, M, N)
             return FaultyRunResult(
                 **res.__dict__, baseline_makespan=baseline_makespan
@@ -217,11 +225,15 @@ class ResilientSimulator(ClusterSimulator):
                 heapq.heappush(ready_heaps[node], (prio[t], t))
 
         def _launch(t: int, start: float) -> None:
-            nonlocal finish_time
+            nonlocal busy, finish_time
             state[t] = LAUNCHED
             d = durations[t] * schedule.slowdown_factor(node_of[t], start)
             start_of[t] = start
             cur_dur[t] = d
+            # account busy at launch, in launch order — the same summation
+            # order as the fault-free engines, so an empty schedule stays
+            # bit-identical; aborts subtract the full duration back out
+            busy += d
             end = start + d
             heapq.heappush(events, (end, 0, t, gen[t]))
 
@@ -261,7 +273,7 @@ class ResilientSimulator(ClusterSimulator):
 
         def handle_crash(n: int, tc: float) -> None:
             """Abort, compute the recovery cone, re-plan, and rebuild."""
-            nonlocal aborted, wasted, refetches, messages
+            nonlocal aborted, busy, wasted, refetches, messages
             dead.add(n)
             recovery = tc + schedule.detection_latency
             fault_events.append({"type": "crash", "time": tc, "node": n})
@@ -271,6 +283,7 @@ class ResilientSimulator(ClusterSimulator):
                 if state[t] == LAUNCHED and not finished[t] and node_of[t] == n:
                     state[t] = NEW
                     gen[t] += 1
+                    busy -= cur_dur[t]  # aborted work is wasted, not busy
                     wasted += tc - start_of[t]
                     n_aborted += 1
             aborted += n_aborted
@@ -403,7 +416,6 @@ class ResilientSimulator(ClusterSimulator):
             finished[t] = 1
             exec_node[t] = node
             executions += 1
-            busy += cur_dur[t]
             if now > finish_time:
                 finish_time = now
             if trace is not None:

@@ -42,6 +42,10 @@ class SimulationResult:
     busy_seconds: float
     cores: int
     trace: list[tuple[int, int, float, float]] | None = None  # (task, node, start, end)
+    #: (producer task, src node, dst node, depart, arrival) per message —
+    #: recorded by the reference engine under ``record_trace``; consumed by
+    #: the schedule-legality oracle in :mod:`repro.verify`
+    comm_trace: list[tuple[int, int, int, float, float]] | None = None
 
     @property
     def gflops(self) -> float:
@@ -152,7 +156,11 @@ class ClusterSimulator:
         N = graph.n * b if N is None else N
         ntasks = len(graph.tasks)
         if ntasks == 0:
-            return SimulationResult(0.0, 0.0, 0, 0, 0.0, machine.cores, [] if self.record_trace else None)
+            return SimulationResult(
+                0.0, 0.0, 0, 0, 0.0, machine.cores,
+                [] if self.record_trace else None,
+                [] if self.record_trace else None,
+            )
 
         node_of = self.placement(graph)
         seconds = {k: machine.task_seconds(k, b) for k in KernelKind}
@@ -184,6 +192,9 @@ class ClusterSimulator:
         messages = 0
         busy = 0.0
         trace: list[tuple[int, int, float, float]] | None = (
+            [] if self.record_trace else None
+        )
+        comm: list[tuple[int, int, int, float, float]] | None = (
             [] if self.record_trace else None
         )
         finish_time = 0.0
@@ -272,9 +283,12 @@ class ClusterSimulator:
                                 chan_free[dest] = depart + bwt
                                 arrival = depart + lat + bwt
                             else:
+                                depart = now
                                 arrival = now + lat + bwt
                             sent[key] = arrival
                             messages += 1
+                            if comm is not None:
+                                comm.append((t, node, dest, depart, arrival))
                     if arrival > data_ready[s]:
                         data_ready[s] = arrival
                     waiting[s] -= 1
@@ -300,4 +314,5 @@ class ClusterSimulator:
             busy_seconds=busy,
             cores=machine.cores,
             trace=trace,
+            comm_trace=comm,
         )

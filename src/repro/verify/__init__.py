@@ -1,0 +1,51 @@
+"""Cross-engine differential verifier and schedule-legality oracle.
+
+The repo has four execution paths that all claim the same semantics — the
+reference Python event loop, the compiled array core (Python and C
+engines), and the fault-free path of the resilient simulator — plus a
+fingerprint-keyed graph cache.  The paper's elimination-list algebra
+promises that *any* tree combination yields a valid, bit-reproducible
+schedule, so silent divergence between engines invalidates every
+benchmark number.  This package is the standing correctness tool that
+enforces that promise:
+
+* :mod:`repro.verify.generator` — seeded sampling of HQR configurations
+  (trees x domino x ``a`` x grids x machine shapes x priorities);
+* :mod:`repro.verify.engines` — runs one case on every engine and
+  compares the results bitwise;
+* :mod:`repro.verify.oracle` — checks schedule legality independently of
+  any engine (core occupancy, channel serialization, data arrivals,
+  lower bounds);
+* :mod:`repro.verify.shrink` — minimizes a failing case over
+  ``(m, n, a, p, q)`` before reporting;
+* :mod:`repro.verify.runner` — the ``repro verify`` entry point with
+  JSON reports and replay.
+"""
+
+from repro.verify.engines import available_engines, result_key, run_engines
+from repro.verify.generator import VerifyCase, generate_cases
+from repro.verify.oracle import OracleViolation, check_schedule
+from repro.verify.runner import (
+    CaseFailure,
+    replay_report,
+    verify,
+    verify_case,
+    write_report,
+)
+from repro.verify.shrink import shrink_case
+
+__all__ = [
+    "CaseFailure",
+    "OracleViolation",
+    "VerifyCase",
+    "available_engines",
+    "check_schedule",
+    "generate_cases",
+    "replay_report",
+    "result_key",
+    "run_engines",
+    "shrink_case",
+    "verify",
+    "verify_case",
+    "write_report",
+]

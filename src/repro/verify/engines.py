@@ -1,0 +1,120 @@
+"""Cross-engine execution of one verification case.
+
+Each engine is a callable ``(case, graph) -> SimulationResult`` executing
+the same schedule through a different code path:
+
+* ``reference`` — the pure-Python event loop of
+  :meth:`ClusterSimulator.run_reference`, with trace recording on (it
+  feeds the legality oracle);
+* ``compiled-python`` — the flat-array event loop of
+  :func:`repro.runtime.compiled.simulate_compiled` with the Python core;
+* ``compiled-c`` — the same loop through the native C core (present only
+  when a system compiler is available);
+* ``resilient`` — the fault-injecting loop of
+  :class:`~repro.resilience.simulate.ResilientSimulator` driven with an
+  empty :class:`FaultSchedule` (``force_fault_loop=True``), which must be
+  bit-identical to the fault-free engines.
+
+All four paths must agree *bitwise* on makespan, message count, bytes
+moved, busy seconds, and flops — :func:`result_key` extracts the compared
+tuple and :func:`run_engines` executes every engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro._ccore import native_available
+from repro.dag.graph import TaskGraph
+from repro.runtime.simulator import ClusterSimulator, SimulationResult
+
+Engine = Callable[["VerifyCase", TaskGraph], SimulationResult]  # noqa: F821
+
+
+def result_key(res: SimulationResult) -> tuple:
+    """The bitwise-compared fields of a simulation outcome."""
+    return (
+        res.makespan,
+        res.messages,
+        res.bytes_sent,
+        res.busy_seconds,
+        res.flops,
+        res.cores,
+    )
+
+
+def _simulator(case, graph, cls=ClusterSimulator, **kwargs):
+    priority = None
+    if case.priority is not None:
+        from repro.runtime.priorities import make_priority
+
+        priority = make_priority(case.priority, graph)
+    return cls(
+        case.machine(),
+        case.layout(),
+        case.b,
+        priority=priority,
+        data_reuse=case.data_reuse,
+        **kwargs,
+    )
+
+
+def reference_engine(case, graph) -> SimulationResult:
+    """Reference event loop, recording the task and comm traces."""
+    return _simulator(case, graph, record_trace=True).run_reference(graph)
+
+
+def _compiled_engine(core: str) -> Engine:
+    def engine(case, graph) -> SimulationResult:
+        from repro.dag.compiled import compile_graph
+        from repro.runtime.compiled import simulate_compiled
+
+        sim = _simulator(case, graph)
+        cg = compile_graph(graph, sim.layout, sim.machine, case.b)
+        return simulate_compiled(
+            cg,
+            sim.machine,
+            case.b,
+            prio=sim.priority_values(graph),
+            data_reuse=case.data_reuse,
+            core=core,
+        )
+
+    engine.__name__ = f"compiled_{core}_engine"
+    return engine
+
+
+def resilient_engine(case, graph) -> SimulationResult:
+    """Fault loop with an empty schedule — the fourth execution path."""
+    from repro.resilience.faults import FaultSchedule
+    from repro.resilience.simulate import ResilientSimulator
+
+    sim = _simulator(case, graph, cls=ResilientSimulator)
+    return sim.run_with_faults(
+        graph, FaultSchedule(), baseline_makespan=0.0, force_fault_loop=True
+    )
+
+
+def available_engines() -> dict[str, Engine]:
+    """The engine registry, in deterministic comparison order.
+
+    ``compiled-c`` is included only when the native core can be built.
+    """
+    engines: dict[str, Engine] = {
+        "reference": reference_engine,
+        "compiled-python": _compiled_engine("python"),
+    }
+    if native_available():
+        engines["compiled-c"] = _compiled_engine("c")
+    engines["resilient"] = resilient_engine
+    return engines
+
+
+def run_engines(
+    case,
+    graph: TaskGraph,
+    engines: dict[str, Engine] | None = None,
+) -> dict[str, SimulationResult]:
+    """Execute ``case`` on every engine; results keyed by engine name."""
+    engines = engines if engines is not None else available_engines()
+    return {name: fn(case, graph) for name, fn in engines.items()}

@@ -1,0 +1,76 @@
+"""Greedy minimization of failing verification cases.
+
+A raw failure from the sampler can be an 18x6-tile matrix on a 12-node
+hierarchical machine — too big to stare at.  :func:`shrink_case` walks the
+``(m, n, a, p, q)`` lattice downward, re-running the failure predicate at
+each candidate and keeping any reduction that still fails, until no
+single-dimension reduction reproduces the failure.  Halving steps are
+tried before decrements, so shrinking is O(log) in each dimension for
+failures that persist at small sizes.
+
+The predicate receives a full :class:`~repro.verify.generator.VerifyCase`
+(rebuilt consistently via :meth:`VerifyCase.replaced`, which keeps the
+machine's node count in sync with a shrinking grid) and returns the
+failure object, or ``None`` when the candidate passes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+from repro.verify.generator import VerifyCase
+
+F = TypeVar("F")
+
+
+def _candidates(case: VerifyCase):
+    """Single-dimension reductions, most aggressive first."""
+    for m in (max(2, case.m // 2), case.m - 1):
+        if 2 <= m < case.m:
+            yield {"m": m}
+    for n in (1, case.n // 2, case.n - 1):
+        if 1 <= n < case.n:
+            yield {"n": n}
+    for a in (1, case.a // 2, case.a - 1):
+        if 1 <= a < case.a:
+            yield {"a": a}
+    for p in (1, case.p // 2, case.p - 1):
+        if 1 <= p < case.p:
+            yield {"p": p}
+    for q in (1, case.q // 2, case.q - 1):
+        if 1 <= q < case.q:
+            yield {"q": q}
+
+
+def shrink_case(
+    case: VerifyCase,
+    failing: Callable[[VerifyCase], F | None],
+    *,
+    max_attempts: int = 200,
+) -> tuple[VerifyCase, F | None]:
+    """Minimize ``case`` while ``failing`` keeps returning a failure.
+
+    Returns the smallest still-failing case found and its failure object
+    (``None`` only if the original case itself stopped failing, e.g. a
+    flaky predicate — the caller should treat that as its own red flag).
+    """
+    best_failure = failing(case)
+    if best_failure is None:
+        return case, None
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for change in _candidates(case):
+            candidate = case.replaced(**change)
+            if candidate == case:
+                continue
+            attempts += 1
+            failure = failing(candidate)
+            if failure is not None:
+                case, best_failure = candidate, failure
+                improved = True
+                break
+            if attempts >= max_attempts:
+                break
+    return case, best_failure

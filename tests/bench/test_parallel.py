@@ -27,6 +27,28 @@ def test_parallel_map_accepts_generators():
     assert parallel_map(_square, (x for x in (2, 3)), workers=1) == [4, 9]
 
 
+_PARENT_PID_ENV = "REPRO_TEST_PARALLEL_PARENT"
+
+
+def _die_in_worker(x):
+    # kill only pool workers: the parent (serial fallback) computes fine
+    import os as _os
+
+    if _os.getpid() != int(_os.environ.get(_PARENT_PID_ENV, "-1")):
+        _os._exit(13)
+    return x * x
+
+
+def test_worker_crash_falls_back_serially(monkeypatch):
+    """Regression: a worker dying mid-map raises BrokenProcessPool (a
+    RuntimeError, not OSError), which used to escape ``parallel_map`` and
+    abort whole sweeps instead of degrading to the serial path."""
+    import os
+
+    monkeypatch.setenv(_PARENT_PID_ENV, str(os.getpid()))
+    assert parallel_map(_die_in_worker, [1, 2, 3], workers=2) == [1, 4, 9]
+
+
 def test_default_workers_env(monkeypatch):
     monkeypatch.setenv("REPRO_BENCH_WORKERS", "3")
     assert default_workers() == 3

@@ -87,6 +87,49 @@ def test_fingerprint_sensitive_to_layout():
     assert base_key(layout=Block1D(8, M_TILES)) != ref
 
 
+def test_fingerprint_stable_across_reconstruction():
+    """Regression: ``default=repr`` leaked ``object at 0x...`` addresses
+    into the digest, so two equal-valued inputs built independently hashed
+    differently and the disk cache never hit across processes."""
+    key = fingerprint(
+        m=M_TILES,
+        n=N_TILES,
+        config=HQRConfig(p=4, q=2, a=2, low_tree="greedy", high_tree="fibonacci"),
+        layout=BlockCyclic2D(4, 2),
+        machine=Machine(nodes=8, cores_per_node=4),
+        b=B,
+    )
+    assert key == base_key()
+
+
+class _OpaqueLayout(Cyclic1D):
+    """A user layout carrying an attribute with no stable serialization."""
+
+    def __init__(self, nodes):
+        super().__init__(nodes)
+        self.scratch = object()
+
+
+def test_fingerprint_rejects_unserializable_values():
+    with pytest.raises(TypeError, match="scratch"):
+        base_key(layout=_OpaqueLayout(8))
+
+
+def test_run_config_bypasses_cache_for_unserializable_layout(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_SIM_CORE", raising=False)
+    monkeypatch.setattr(cache_mod, "_default", None)
+    from repro.bench.runner import BenchSetup, run_config
+
+    setup = BenchSetup(b=B, grid_p=4, grid_q=2, machine=BASE_MACHINE)
+    res = run_config(
+        M_TILES, N_TILES, BASE_CONFIG, setup, layout=_OpaqueLayout(8)
+    )
+    assert res.makespan > 0
+    assert not list((tmp_path / "graphs").glob("cg_*.npz"))  # nothing cached
+    monkeypatch.setattr(cache_mod, "_default", None)
+
+
 def test_memory_and_disk_round_trip(tmp_path):
     cache = CompiledGraphCache(root=tmp_path)
     key = base_key()

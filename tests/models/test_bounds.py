@@ -49,6 +49,44 @@ class TestSchedulingBounds:
         assert 1 / ratio <= w1 / w2 <= ratio * 1.01
 
 
+class TestTopologicalOrder:
+    def test_critical_path_invariant_under_task_relabeling(self):
+        """Regression: the longest-path recurrence silently assumed tasks
+        were listed in topological (program) order and returned truncated
+        paths on relabeled graphs."""
+        import random
+
+        b = 40
+        mach = Machine.edel()
+        g = graph(10, 4)
+        base = critical_path_seconds(g, mach, b)
+
+        ids = list(range(len(g.tasks)))
+        perm = ids[:]
+        random.Random(1234).shuffle(perm)  # perm[old id] = new id
+        inverse = [0] * len(perm)
+        for old, new in enumerate(perm):
+            inverse[new] = old
+        shuffled = TaskGraph(
+            g.m,
+            g.n,
+            [g.tasks[inverse[new]] for new in ids],
+            [[perm[p] for p in g.predecessors[inverse[new]]] for new in ids],
+        )
+        assert any(  # the permutation must actually break program order
+            p > t for t, plist in enumerate(shuffled.predecessors) for p in plist
+        )
+        assert critical_path_seconds(shuffled, mach, b) == base
+
+    def test_cycle_rejected(self):
+        from repro.models.bounds import topological_order
+
+        g = graph(4, 2)
+        cyclic = TaskGraph(g.m, g.n, g.tasks[:2], [[1], [0]])
+        with pytest.raises(ValueError, match="cycle"):
+            topological_order(cyclic)
+
+
 class TestBandwidthBound:
     def test_zero_for_single_node(self):
         assert bandwidth_lower_bound_words(1000, 500, 1) == 0.0

@@ -1,0 +1,73 @@
+"""Deterministic case sampling and the VerifyCase model."""
+
+import dataclasses
+import json
+
+from repro.verify.generator import (
+    LAYOUT_KINDS,
+    PRIORITY_CHOICES,
+    TREES,
+    VerifyCase,
+    generate_cases,
+    sample_case,
+)
+
+
+def test_generation_is_deterministic():
+    assert list(generate_cases(7, 40)) == list(generate_cases(7, 40))
+
+
+def test_sample_case_independent_of_stream_position():
+    # case index k is a pure function of (seed, k), not of iteration state
+    stream = list(generate_cases(3, 10))
+    assert stream[6] == sample_case(3, 6)
+
+
+def test_streams_differ_by_seed():
+    assert list(generate_cases(0, 20)) != list(generate_cases(1, 20))
+
+
+def test_sampled_fields_in_range_and_constructible():
+    for case in generate_cases(2, 80):
+        assert 2 <= case.m <= 18
+        assert 1 <= case.n <= 8
+        assert case.b in (8, 16, 40)
+        assert 1 <= case.a <= 5
+        assert case.low_tree in TREES and case.high_tree in TREES
+        assert case.layout_kind in LAYOUT_KINDS
+        assert case.priority in PRIORITY_CHOICES
+        if case.layout_kind == "grid":
+            assert case.nodes == case.p * case.q
+        if case.layout_kind == "single":
+            assert case.nodes == 1
+        if case.site_size:
+            assert case.nodes >= 2 * case.site_size
+        assert case.layout().nodes == case.nodes
+        assert case.machine().nodes == case.nodes
+        case.config()  # must not raise
+        assert str(case.index) in case.describe()
+
+
+def test_dict_round_trip_through_strict_json():
+    # strict JSON (the report format) has no Infinity literal; the round
+    # trip must survive it for the infinite-bandwidth machines
+    cases = list(generate_cases(5, 80))
+    assert any(c.bandwidth == float("inf") for c in cases)
+    for case in cases:
+        payload = json.loads(json.dumps(case.to_dict()))
+        assert VerifyCase.from_dict(payload) == case
+
+
+def test_replaced_keeps_machine_consistent():
+    base = sample_case(0, 0)
+    case = dataclasses.replace(
+        base, layout_kind="grid", p=2, q=2, nodes=4, site_size=2
+    )
+    shrunk = case.replaced(p=1)
+    assert shrunk.p == 1
+    assert shrunk.nodes == shrunk.p * shrunk.q == 2
+    # a 2-node machine cannot host two sites of 2: hierarchy dropped
+    assert shrunk.site_size == 0
+
+    single = dataclasses.replace(base, layout_kind="single", nodes=1)
+    assert single.replaced(m=2).nodes == 1

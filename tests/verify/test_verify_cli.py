@@ -1,0 +1,40 @@
+"""The ``repro verify`` CLI surface."""
+
+import json
+
+from repro.cli import main
+from repro.verify.generator import sample_case
+
+
+def test_cli_verify_smoke(tmp_path, capsys):
+    out = tmp_path / "VERIFY_test.json"
+    rc = main(["verify", "--seed", "0", "--budget", "8", "--json", str(out)])
+    assert rc == 0
+    report = json.loads(out.read_text())
+    assert report["ok"] is True
+    assert report["cases_run"] == 8
+    assert report["seed"] == 0
+    captured = capsys.readouterr()
+    assert "OK" in captured.out
+    assert str(out) in captured.out
+
+
+def test_cli_verify_replay_fixed_report(tmp_path, capsys):
+    # a report whose recorded failure no longer reproduces: replay says
+    # fixed and exits 0
+    report = {
+        "failures": [
+            {
+                "case": sample_case(0, 2).to_dict(),
+                "kind": "engine-divergence",
+                "detail": {},
+                "minimized": None,
+                "minimized_detail": None,
+            }
+        ]
+    }
+    path = tmp_path / "old_report.json"
+    path.write_text(json.dumps(report))
+    rc = main(["verify", "--replay", str(path)])
+    assert rc == 0
+    assert "fixed" in capsys.readouterr().out
