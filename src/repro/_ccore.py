@@ -762,7 +762,21 @@ def get_lib() -> ctypes.CDLL | None:
         return None
     if not _lib_tried:
         _lib_tried = True
+        import time as _time
+
+        t0 = _time.perf_counter()
         _lib = _build()
+        # observability note for the native-core shim: first-use builds
+        # of the shared library are a real wall-time cost worth seeing
+        from repro.obs.events import active as _obs_active
+
+        rec = _obs_active()
+        if rec is not None:
+            rec.note(
+                "ccore_load",
+                seconds=_time.perf_counter() - t0,
+                available=_lib is not None,
+            )
     return _lib
 
 

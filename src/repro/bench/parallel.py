@@ -7,6 +7,15 @@ are deterministic and identical to the serial path regardless of worker
 count — and degrades to a plain serial loop when one worker is requested
 (or the pool cannot start, e.g. on restricted platforms).
 
+Observability: every point is timed (pool and serial paths alike).  A
+pool failure that forces the serial fallback is *logged* (it used to be
+silent — a sweep could quietly lose all its parallelism), a point that
+raises in the serial path is logged with its index before the exception
+propagates, and points much slower than the sweep median are reported
+through the ``repro.bench.parallel`` logger.  Per-point seconds also
+feed the ``sweep_point`` stage of the self-profiler when one is active
+(:mod:`repro.obs.profile`).
+
 Worker count: ``REPRO_BENCH_WORKERS`` overrides; the default is the CPU
 count.  Functions submitted must be module-level (picklable), taking one
 item.
@@ -14,13 +23,20 @@ item.
 
 from __future__ import annotations
 
+import logging
 import os
+import time
 from typing import Callable, Iterable, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 __all__ = ["default_workers", "parallel_map"]
+
+log = logging.getLogger("repro.bench.parallel")
+
+#: a point this many times slower than the sweep median gets reported
+SLOW_POINT_FACTOR = 8.0
 
 
 def default_workers() -> int:
@@ -34,6 +50,59 @@ def default_workers() -> int:
                 f"REPRO_BENCH_WORKERS must be an integer, got {env!r}"
             ) from None
     return os.cpu_count() or 1
+
+
+def _timed_call(payload: tuple) -> tuple:
+    """Run one sweep point and measure it (module-level: picklable)."""
+    fn, item = payload
+    t0 = time.perf_counter()
+    return fn(item), time.perf_counter() - t0
+
+
+def _serial_map(fn: Callable[[T], R], seq: Sequence[T]) -> tuple[list[R], list[float]]:
+    """In-process map with per-point timing; failed points are named."""
+    results: list[R] = []
+    seconds: list[float] = []
+    for i, item in enumerate(seq):
+        t0 = time.perf_counter()
+        try:
+            results.append(fn(item))
+        except Exception as exc:
+            log.error(
+                "sweep point %d/%d dropped: %s: %s",
+                i + 1, len(seq), type(exc).__name__, exc,
+            )
+            raise
+        seconds.append(time.perf_counter() - t0)
+    return results, seconds
+
+
+def _report_timings(seconds: list[float]) -> None:
+    """Log the sweep profile and flag pathological stragglers."""
+    if not seconds:
+        return
+    total = sum(seconds)
+    srt = sorted(seconds)
+    median = srt[len(srt) // 2]
+    log.debug(
+        "sweep: %d points, %.3fs total, median %.4fs, max %.4fs",
+        len(seconds), total, median, srt[-1],
+    )
+    threshold = max(median * SLOW_POINT_FACTOR, 0.5)
+    slow = [
+        (i, s) for i, s in enumerate(seconds) if s > threshold
+    ]
+    for i, s in slow:
+        log.warning(
+            "slow sweep point %d: %.3fs (median %.4fs, %.0fx)",
+            i, s, median, s / median if median > 0 else float("inf"),
+        )
+    from repro.obs.profile import active_profile
+
+    prof = active_profile()
+    if prof is not None:
+        for s in seconds:
+            prof.add("sweep_point", s)
 
 
 def parallel_map(
@@ -53,13 +122,25 @@ def parallel_map(
         workers = default_workers()
     workers = min(workers, len(seq))
     if workers <= 1:
-        return [fn(item) for item in seq]
+        results, seconds = _serial_map(fn, seq)
+        _report_timings(seconds)
+        return results
     from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, seq))
-    except (OSError, ImportError, BrokenExecutor):
+            pairs = list(pool.map(_timed_call, [(fn, item) for item in seq]))
+    except (OSError, ImportError, BrokenExecutor) as exc:
         # pool cannot start (no /dev/shm etc.) or a worker died mid-map
-        # (BrokenProcessPool): rerun the whole map serially in-process
-        return [fn(item) for item in seq]
+        # (BrokenProcessPool): rerun the whole map serially in-process —
+        # loudly, so a sweep never silently loses its parallelism
+        log.warning(
+            "process pool failed (%s: %s); rerunning all %d points serially",
+            type(exc).__name__, exc, len(seq),
+        )
+        results, seconds = _serial_map(fn, seq)
+        _report_timings(seconds)
+        return results
+    results = [r for r, _ in pairs]
+    _report_timings([s for _, s in pairs])
+    return results

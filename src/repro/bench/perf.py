@@ -143,6 +143,7 @@ def bench_report(
     ``run_config_sweep`` (exercising the cache and the parallel engine).
     """
     from repro._ccore import native_available
+    from repro.obs.regression import run_metadata
 
     setup = setup or BenchSetup()
     points = default_points(setup)
@@ -153,6 +154,9 @@ def bench_report(
         "platform": platform.platform(),
         "n_points": len(points),
         "points_m_max": max(m for m, _, _ in points),
+        # provenance stamp: lets the regression gate refuse comparisons
+        # across machines / interpreters (repro obs gate)
+        "meta": run_metadata(),
     }
 
     stages: dict = {}

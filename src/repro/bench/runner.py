@@ -20,6 +20,7 @@ from repro.bench.parallel import parallel_map
 from repro.dag.graph import TaskGraph
 from repro.hqr.config import HQRConfig
 from repro.hqr.hierarchy import hqr_elimination_list
+from repro.obs.profile import stage
 from repro.runtime.machine import Machine
 from repro.runtime.simulator import ClusterSimulator, SimulationResult
 from repro.tiles.layout import BlockCyclic2D, Layout
@@ -133,19 +134,24 @@ def run_config(
     lay = layout if layout is not None else setup.layout
 
     def build():
-        return compiled_from_eliminations(
-            hqr_elimination_list(m, n, config), m, n, lay, setup.machine, setup.b
-        )
+        with stage("elim"):
+            elims = hqr_elimination_list(m, n, config)
+        with stage("dag_build"):
+            return compiled_from_eliminations(
+                elims, m, n, lay, setup.machine, setup.b
+            )
 
-    try:
-        key = fingerprint(m, n, config, lay, setup.machine, setup.b)
-    except TypeError:
-        # custom layout with attributes that have no stable serialization:
-        # skip memoization rather than cache under an unstable key
-        cg = build()
-    else:
-        cg = default_cache().get_or_build(key, build)
-    return simulate_compiled(cg, setup.machine, setup.b)
+    with stage("graph"):
+        try:
+            key = fingerprint(m, n, config, lay, setup.machine, setup.b)
+        except TypeError:
+            # custom layout with attributes that have no stable serialization:
+            # skip memoization rather than cache under an unstable key
+            cg = build()
+        else:
+            cg = default_cache().get_or_build(key, build)
+    with stage("simulate"):
+        return simulate_compiled(cg, setup.machine, setup.b)
 
 
 def _run_point(item) -> SimulationResult:

@@ -13,6 +13,9 @@ faults     fault-injection sweep + recovery benchmark (BENCH_resilience)
 verify     cross-engine differential verifier + schedule-legality oracle
 export     write an elimination list as JSON
 replay     validate + summarize an elimination-list JSON file
+metrics    instrumented run: per-kernel/level/link metrics (JSON/Prometheus)
+profile    self-profile the harness (stage timers + cProfile)
+obs        observability reports (HTML) and bench-regression gates
 """
 
 from __future__ import annotations
@@ -171,7 +174,16 @@ def cmd_gantt(args) -> int:
         hqr_elimination_list(args.m, args.n, cfg), args.m, args.n
     )
     sim = setup.simulator(record_trace=True)
-    res = sim.run(graph)
+    if args.trace_out:
+        # a recorder captures the message flow and busy-core counters so
+        # the exported timeline gets network and counter tracks
+        from repro.obs.events import recording
+        from repro.obs.metrics import utilization_timeline
+
+        with recording() as rec:
+            res = sim.run(graph)
+    else:
+        res = sim.run(graph)
     print(f"{args.m} x {args.n} tiles, {cfg}: {res.gflops:.1f} GFlop/s")
     print(ascii_gantt(res.trace, graph, width=args.width, max_nodes=args.nodes))
     s = summarize(res.trace, graph)
@@ -181,7 +193,16 @@ def cmd_gantt(args) -> int:
     print(f"imbalance (max/mean node busy): {s.imbalance():.3f}")
     if args.trace_out:
         with open(args.trace_out, "w") as fh:
-            fh.write(trace_events_json(res.trace, graph))
+            fh.write(
+                trace_events_json(
+                    res.trace,
+                    graph,
+                    comm_events=rec.comms,
+                    counters={
+                        "busy_cores": utilization_timeline(res.trace)
+                    },
+                )
+            )
         print(f"wrote chrome://tracing timeline to {args.trace_out}")
     return 0
 
@@ -383,6 +404,128 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _instrumented_run(args):
+    """Simulate one config under a task-level recorder; shared by the
+    ``metrics`` and ``obs report`` commands."""
+    from repro.bench.runner import BenchSetup, run_config
+    from repro.dag.graph import TaskGraph
+    from repro.hqr.hierarchy import hqr_elimination_list
+    from repro.obs.events import recording
+    from repro.obs.metrics import derive_run_metrics
+
+    setup = BenchSetup()
+    cfg = _config(args).with_(p=setup.grid_p, q=setup.grid_q)
+    with recording(level=args.level) as rec:
+        res = run_config(args.m, args.n, cfg, setup)
+    graph = TaskGraph.from_eliminations(
+        hqr_elimination_list(args.m, args.n, cfg), args.m, args.n
+    )
+    reg = derive_run_metrics(
+        rec, graph, machine=setup.machine, b=setup.b, config=cfg
+    )
+    return setup, cfg, rec, res, graph, reg
+
+
+def cmd_metrics(args) -> int:
+    setup, cfg, rec, res, _graph, reg = _instrumented_run(args)
+    print(
+        f"instrumented run: {args.m} x {args.n} tiles (b={setup.b}), {cfg}"
+    )
+    print(
+        f"  makespan {res.makespan:.4f}s  gflops {res.gflops:.1f}  "
+        f"{len(rec.tasks)} task spans, {len(rec.comms)} messages"
+    )
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(reg.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote metrics JSON to {args.json}")
+    if args.prom:
+        with open(args.prom, "w") as fh:
+            fh.write(reg.to_prometheus())
+        print(f"wrote Prometheus exposition to {args.prom}")
+    if not args.json and not args.prom:
+        print(reg.to_prometheus(), end="")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    import json
+
+    from repro.obs.profile import format_profile, profile_run
+
+    report = profile_run(
+        m=args.m,
+        n=args.n,
+        sweep_points=args.points,
+        with_cprofile=not args.no_cprofile,
+        top=args.top,
+    )
+    print(format_profile(report))
+    if args.json:
+        report.pop("cprofile_text", None)  # redundant with cprofile_top
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote profile JSON to {args.json}")
+    return 0
+
+
+def cmd_obs_report(args) -> int:
+    from repro.obs.metrics import utilization_timeline
+    from repro.obs.report import build_html, write_html
+
+    setup, cfg, rec, res, _graph, reg = _instrumented_run(args)
+    timeline = utilization_timeline(rec.tasks)
+    mach = setup.machine
+    summary = {
+        "tiles": f"{args.m} x {args.n}",
+        "config": str(cfg),
+        "makespan (s)": f"{res.makespan:.4f}",
+        "GFlop/s": f"{res.gflops:.1f}",
+        "messages": res.messages,
+        "task spans": len(rec.tasks),
+        "total cores": mach.nodes * mach.cores_per_node,
+    }
+    html_text = build_html(summary, reg.to_json(), timeline)
+    write_html(args.out, html_text)
+    print(f"wrote observability report to {args.out}")
+    return 0
+
+
+def cmd_obs_gate(args) -> int:
+    from repro.obs.regression import format_gate, gate_files
+
+    result = gate_files(
+        args.current,
+        args.baseline,
+        max_ratio=args.max_ratio,
+        allow_cross_machine=args.allow_cross_machine,
+    )
+    print(format_gate(result))
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return 0 if result["ok"] else 1
+
+
+def _add_obs_run_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--m", type=int, default=64, help="tile rows")
+    p.add_argument("--n", type=int, default=8, help="tile columns")
+    p.add_argument(
+        "--level",
+        choices=("summary", "tasks"),
+        default="tasks",
+        help="recording detail (tasks = per-task/per-message events)",
+    )
+    _add_config_args(p)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -539,6 +682,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail when micro wall-time exceeds baseline by this ratio",
     )
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "metrics",
+        help="instrumented run: per-kernel/level/link metrics "
+        "(JSON + Prometheus)",
+    )
+    _add_obs_run_args(p)
+    p.add_argument("--json", help="write the metrics registry as JSON here")
+    p.add_argument(
+        "--prom", help="write Prometheus text exposition format here"
+    )
+    p.set_defaults(fn=cmd_metrics)
+
+    p = sub.add_parser(
+        "profile", help="self-profile the harness (stages + cProfile)"
+    )
+    p.add_argument("--m", type=int, default=64)
+    p.add_argument("--n", type=int, default=8)
+    p.add_argument(
+        "--points", type=int, default=4, help="sweep points to profile over"
+    )
+    p.add_argument(
+        "--no-cprofile", action="store_true", help="stage timers only"
+    )
+    p.add_argument(
+        "--top", type=int, default=15, help="cProfile rows to keep"
+    )
+    p.add_argument("--json", help="write the profile report here")
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("obs", help="observability reports and gates")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    p = obs_sub.add_parser(
+        "report", help="HTML summary of one instrumented run"
+    )
+    _add_obs_run_args(p)
+    p.add_argument(
+        "--out", default="obs_report.html", help="output HTML path"
+    )
+    p.set_defaults(fn=cmd_obs_report)
+
+    p = obs_sub.add_parser(
+        "gate", help="compare two BENCH_*.json reports, fail on regression"
+    )
+    p.add_argument("current", help="freshly produced BENCH_*.json")
+    p.add_argument("baseline", help="committed baseline BENCH_*.json")
+    p.add_argument(
+        "--max-ratio",
+        type=float,
+        default=2.0,
+        help="fail when a gated wall-time exceeds baseline by this ratio",
+    )
+    p.add_argument(
+        "--allow-cross-machine",
+        action="store_true",
+        help="compare even when the metadata stamps differ",
+    )
+    p.add_argument("--json", help="write the gate verdict here")
+    p.set_defaults(fn=cmd_obs_gate)
 
     p = sub.add_parser("auto", help="pick a configuration automatically")
     p.add_argument("--m", type=int, default=128)

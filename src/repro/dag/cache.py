@@ -31,6 +31,7 @@ import numpy as np
 
 from repro._ccore import cache_root
 from repro.dag.compiled import CompiledGraph
+from repro.obs.events import active as _obs_active
 from repro.hqr.config import HQRConfig
 from repro.runtime.machine import Machine
 from repro.tiles.layout import Layout
@@ -202,18 +203,28 @@ class CompiledGraphCache:
 
     # -- public ------------------------------------------------------- #
     def get(self, key: str) -> CompiledGraph | None:
+        rec = _obs_active()
         cg = self._memory.get(key)
         if cg is not None:
             self._memory.move_to_end(key)
+            if rec is not None:
+                rec.cache_event("hit-memory", key[:16])
             return cg
         cg = self._load_disk(key)
         if cg is not None:
             self._remember(key, cg)
+            if rec is not None:
+                rec.cache_event("hit-disk", key[:16])
+        elif rec is not None:
+            rec.cache_event("miss", key[:16])
         return cg
 
     def put(self, key: str, cg: CompiledGraph) -> None:
         self._remember(key, cg)
         self._store_disk(key, cg)
+        rec = _obs_active()
+        if rec is not None:
+            rec.cache_event("store", key[:16])
 
     def get_or_build(
         self, key: str, builder: Callable[[], CompiledGraph]

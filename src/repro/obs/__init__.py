@@ -1,0 +1,54 @@
+"""Unified observability layer: events, metrics, profiling, gating.
+
+* :mod:`repro.obs.events` — pluggable engine instrumentation (task
+  spans, messages, faults, cache hits) with a bitwise-neutral no-op
+  fast path;
+* :mod:`repro.obs.metrics` — counters / gauges / histograms plus
+  per-kernel, per-hierarchy-level, per-link derivations, exported as
+  JSON or Prometheus text (``repro metrics``);
+* :mod:`repro.obs.profile` — self-profiling of the harness (stage
+  timers + cProfile, ``repro profile``);
+* :mod:`repro.obs.report` — standalone HTML run summary
+  (``repro obs report``);
+* :mod:`repro.obs.regression` — metadata-stamped ``BENCH_*.json``
+  comparison that fails CI on wall-time regressions
+  (``repro obs gate``).
+
+See ``docs/observability.md`` for the workflow.
+"""
+
+from repro.obs.events import Recorder, active, install, recording, uninstall
+from repro.obs.metrics import (
+    MetricsRegistry,
+    derive_run_metrics,
+    utilization_timeline,
+)
+from repro.obs.profile import SelfProfile, format_profile, profile_run, stage
+from repro.obs.regression import (
+    compare_reports,
+    format_gate,
+    gate_files,
+    run_metadata,
+)
+from repro.obs.report import build_html, write_html
+
+__all__ = [
+    "MetricsRegistry",
+    "Recorder",
+    "SelfProfile",
+    "active",
+    "build_html",
+    "compare_reports",
+    "derive_run_metrics",
+    "format_gate",
+    "format_profile",
+    "gate_files",
+    "install",
+    "profile_run",
+    "recording",
+    "run_metadata",
+    "stage",
+    "uninstall",
+    "utilization_timeline",
+    "write_html",
+]

@@ -183,9 +183,12 @@ def resilience_report(
     graph = TaskGraph.from_eliminations(hqr_elimination_list(m, n, cfg), m, n)
     sim = ResilientSimulator(setup.machine, setup.layout, setup.b)
     baseline = sim.run(graph).makespan
+    from repro.obs.regression import run_metadata
+
     report: dict = {
         "benchmark": "resilience",
         "scale": bench_scale(),
+        "meta": run_metadata(),
         "m": m,
         "n": n,
         "b": setup.b,

@@ -40,10 +40,12 @@ which is fine at recovery-benchmark scale.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
 
 from repro.dag.graph import TaskGraph
 from repro.kernels.weights import KernelKind
+from repro.obs.events import active as _obs_active
 from repro.resilience.faults import FaultSchedule
 from repro.resilience.replan import node_remap, shrunken_grid
 from repro.runtime.simulator import ClusterSimulator, SimulationResult, qr_flops
@@ -145,6 +147,9 @@ class ResilientSimulator(ClusterSimulator):
         baseline_makespan: float,
     ) -> FaultyRunResult:
         machine, b = self.machine, self.b
+        rec = _obs_active()
+        observe = rec is not None and rec.want_tasks
+        wall0 = time.perf_counter() if rec is not None else 0.0
         M = graph.m * b if M is None else M
         N = graph.n * b if N is None else N
         ntasks = len(graph.tasks)
@@ -245,7 +250,9 @@ class ResilientSimulator(ClusterSimulator):
                     return t
             return None
 
-        def transfer(src: int, dst: int, now: float, *, droppable: bool) -> float:
+        def transfer(
+            src: int, dst: int, now: float, *, droppable: bool, producer: int = -1
+        ) -> float:
             """Arrival time of one tile src -> dst departing at ``now``."""
             nonlocal messages, dropped, retransmits, msg_index
             lat, bwt = link(src, dst)
@@ -257,6 +264,8 @@ class ResilientSimulator(ClusterSimulator):
                 depart = now
             arrival = depart + lat + bwt
             messages += 1
+            if observe:
+                rec.comm(producer, src, dst, depart, arrival, tile_bytes)
             if droppable:
                 idx = msg_index
                 msg_index += 1
@@ -379,6 +388,8 @@ class ResilientSimulator(ClusterSimulator):
                         sent[(p, dst)] = a
                         refetches += 1
                         messages += 1
+                        if observe:
+                            rec.comm(p, replicas[p], dst, recovery, a, tile_bytes)
                     sat.add((p, t))
                     if a > dr:
                         dr = a
@@ -420,6 +431,8 @@ class ResilientSimulator(ClusterSimulator):
                 finish_time = now
             if trace is not None:
                 trace.append((t, node, start_of[t], now))
+            if observe:
+                rec.task(t, node, start_of[t], now)
             nxt = None
             if data_reuse:
                 best = None
@@ -448,7 +461,7 @@ class ResilientSimulator(ClusterSimulator):
                     key = (t, dest)
                     arrival = sent.get(key, -1.0)
                     if arrival < 0:
-                        arrival = transfer(node, dest, now, droppable=True)
+                        arrival = transfer(node, dest, now, droppable=True, producer=t)
                         sent[key] = arrival
                 sat.add((t, s))
                 if arrival > data_ready[s]:
@@ -466,6 +479,20 @@ class ResilientSimulator(ClusterSimulator):
                 f"fault simulation stalled: {ntasks - sum(finished)} tasks unfinished"
             )
 
+        if rec is not None:
+            for ev in fault_events:
+                rec.fault(ev)
+            rec.run(
+                engine="resilient",
+                loop="cluster",
+                wall_s=time.perf_counter() - wall0,
+                makespan=finish_time,
+                busy_seconds=busy,
+                messages=messages,
+                ntasks=ntasks,
+                crashes=len(schedule.crashes),
+                reexecuted=executions - ntasks,
+            )
         return FaultyRunResult(
             makespan=finish_time,
             flops=qr_flops(M, N),

@@ -30,11 +30,13 @@ from __future__ import annotations
 import ctypes
 import heapq
 import os
+import time
 
 import numpy as np
 
 from repro import _ccore
 from repro.dag.compiled import KIND_ORDER, CompiledGraph
+from repro.obs.events import active as _obs_active
 from repro.runtime.accelerated import ACC_KERNELS
 from repro.runtime.machine import Machine
 from repro.runtime.simulator import SimulationResult, qr_flops
@@ -150,6 +152,8 @@ def simulate_compiled(
     N = cg.n * b if N is None else N
     ntasks = cg.ntasks
     tile_bytes = machine.tile_bytes(b)
+    rec = _obs_active()
+    wall0 = time.perf_counter() if rec is not None else 0.0
     if ntasks == 0:
         return SimulationResult(0.0, 0.0, 0, 0, 0.0, machine.cores, None)
 
@@ -170,6 +174,11 @@ def simulate_compiled(
     )
 
     lib = _pick_engine(core)
+    if lib is not None and rec is not None and rec.want_tasks:
+        # per-task/per-message detail needs Python callbacks, which the
+        # native core cannot make — run the bit-identical Python loop
+        rec.note("engine_fallback", reason="task-level recording", frm="c")
+        lib = None
     args = (
         ntasks,
         nnodes,
@@ -192,13 +201,25 @@ def simulate_compiled(
         site_of,
         data_reuse,
     )
+    engine = "c"
     if lib is not None:
         result = _c_cluster(lib, *args)
     else:
         result = None
     if result is None:
-        result = _py_cluster(*args)
+        engine = "python"
+        result = _py_cluster(*args, rec=rec, nbytes=tile_bytes)
     makespan, busy, messages = result
+    if rec is not None:
+        rec.run(
+            engine=engine,
+            loop="cluster",
+            wall_s=time.perf_counter() - wall0,
+            makespan=makespan,
+            busy_seconds=busy,
+            messages=messages,
+            ntasks=ntasks,
+        )
     return SimulationResult(
         makespan=makespan,
         flops=qr_flops(M, N),
@@ -242,8 +263,16 @@ def _py_cluster(
     succ_ptr, succ_idx, edge_slot, nslots, rank, task_of_rank,
     serialized, hierarchical, lat_intra, bwt_intra, lat_inter, bwt_inter,
     site_of, data_reuse,
+    *, rec=None, nbytes=0,
 ):
-    """Pure-Python flat-array event loop (engine of last resort)."""
+    """Pure-Python flat-array event loop (engine of last resort).
+
+    ``rec`` (a :class:`~repro.obs.events.Recorder` at ``tasks`` level)
+    receives task spans, messages, and queue depths; the emission sites
+    are pure appends behind ``observe`` checks, so the schedule and all
+    arithmetic are identical with or without a recorder.
+    """
+    observe = rec is not None and rec.want_tasks
     dur = dur.tolist()
     node = node.tolist()
     waiting = waiting.tolist()
@@ -265,6 +294,7 @@ def _py_cluster(
     busy = 0.0
     finish_time = 0.0
     messages = 0
+    queued = [0] * nnodes if observe else None
 
     def try_start(t: int, now: float) -> None:
         nd = node[t]
@@ -276,6 +306,9 @@ def _py_cluster(
         else:
             state[t] = 1
             push(ready[nd], rank[t])
+            if observe:
+                queued[nd] += 1
+                rec.queue_depth(now, nd, queued[nd])
 
     def launch(t: int, start: float) -> None:
         nonlocal busy, finish_time
@@ -286,6 +319,8 @@ def _py_cluster(
         if end > finish_time:
             finish_time = end
         push(events, (end, t))
+        if observe:
+            rec.task(t, node[t], start, end)
 
     for t in range(ntasks):
         if waiting[t] == 0:
@@ -319,6 +354,9 @@ def _py_cluster(
                     nxt = cand
                     break
         if nxt >= 0:
+            if observe:
+                queued[nd] -= 1
+                rec.queue_depth(now, nd, queued[nd])
             dr = data_ready[nxt]
             launch(nxt, dr if dr > now else now)
         else:
@@ -346,9 +384,12 @@ def _py_cluster(
                         chan_free[dest] = depart + bwt
                         arrival = depart + lat + bwt
                     else:
+                        depart = now
                         arrival = now + lat + bwt
                     slot_arrival[slot] = arrival
                     messages += 1
+                    if observe:
+                        rec.comm(t, nd, dest, depart, arrival, nbytes)
             if arrival > data_ready[s]:
                 data_ready[s] = arrival
             waiting[s] -= 1
@@ -379,6 +420,8 @@ def simulate_compiled_acc(
     base: Machine = acc_machine.base
     ntasks = cg.ntasks
     tile_bytes = base.tile_bytes(b)
+    rec = _obs_active()
+    wall0 = time.perf_counter() if rec is not None else 0.0
     if ntasks == 0:
         return SimulationResult(0.0, 0.0, 0, 0, 0.0, base.cores, None)
 
@@ -409,13 +452,26 @@ def simulate_compiled_acc(
         base.latency,
         bwt,
     )
+    engine = "c"
     if lib is not None:
         result = _c_acc(lib, *args)
     else:
         result = None
     if result is None:
+        engine = "python"
         result = _py_acc(*args)
     makespan, busy, messages = result
+    if rec is not None:
+        # the accelerated loop records run-level summaries only
+        rec.run(
+            engine=engine,
+            loop="acc",
+            wall_s=time.perf_counter() - wall0,
+            makespan=makespan,
+            busy_seconds=busy,
+            messages=messages,
+            ntasks=ntasks,
+        )
     return SimulationResult(
         makespan=makespan,
         flops=qr_flops(cg.m * b, cg.n * b),

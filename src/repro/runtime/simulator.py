@@ -22,11 +22,13 @@ Outputs makespan, GFlop/s, per-node busy times, and message statistics.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass
 
 from repro.dag.graph import TaskGraph
 
 from repro.kernels.weights import KernelKind
+from repro.obs.events import active as _obs_active
 from repro.runtime.machine import Machine
 from repro.tiles.layout import Layout
 
@@ -152,6 +154,8 @@ class ClusterSimulator:
     ) -> SimulationResult:
         """The reference pure-Python event loop (also the tracing path)."""
         machine, b = self.machine, self.b
+        rec = _obs_active()  # event recorder, or None (no-op fast path)
+        wall0 = time.perf_counter() if rec is not None else 0.0
         M = graph.m * b if M is None else M
         N = graph.n * b if N is None else N
         ntasks = len(graph.tasks)
@@ -198,6 +202,9 @@ class ClusterSimulator:
             [] if self.record_trace else None
         )
         finish_time = 0.0
+        # ready-queue depth accounting, only under task-level recording
+        observe = rec is not None and rec.want_tasks
+        queued = [0] * machine.nodes if observe else None
 
         def try_start(t: int, now: float) -> None:
             """Task t has all data at its node; run it or queue it."""
@@ -209,6 +216,9 @@ class ClusterSimulator:
             else:
                 state[t] = QUEUED
                 heapq.heappush(ready_heaps[node], (prio[t], t))
+                if observe:
+                    queued[node] += 1
+                    rec.queue_depth(now, node, queued[node])
 
         def _launch(t: int, start: float) -> None:
             nonlocal busy, finish_time
@@ -220,6 +230,8 @@ class ClusterSimulator:
             heapq.heappush(events, (end, 0, t, 0))
             if trace is not None:
                 trace.append((t, node_of[t], start, end))
+            if observe:
+                rec.task(t, node_of[t], start, end)
 
         def _pop_next(node: int) -> int | None:
             """Highest-priority queued task on this node (lazy deletion)."""
@@ -258,6 +270,9 @@ class ClusterSimulator:
                 if nxt is None:
                     nxt = _pop_next(node)
                 if nxt is not None:
+                    if observe:
+                        queued[node] -= 1
+                        rec.queue_depth(now, node, queued[node])
                     _launch(nxt, max(now, data_ready[nxt]))
                 else:
                     free_cores[node] += 1
@@ -289,6 +304,10 @@ class ClusterSimulator:
                             messages += 1
                             if comm is not None:
                                 comm.append((t, node, dest, depart, arrival))
+                            if observe:
+                                rec.comm(
+                                    t, node, dest, depart, arrival, tile_bytes
+                                )
                     if arrival > data_ready[s]:
                         data_ready[s] = arrival
                     waiting[s] -= 1
@@ -306,6 +325,16 @@ class ClusterSimulator:
         if any(w > 0 for w in waiting):  # pragma: no cover - cycle guard
             raise RuntimeError("simulation stalled with unfinished tasks")
 
+        if rec is not None:
+            rec.run(
+                engine="reference",
+                loop="cluster",
+                wall_s=time.perf_counter() - wall0,
+                makespan=finish_time,
+                busy_seconds=busy,
+                messages=messages,
+                ntasks=ntasks,
+            )
         return SimulationResult(
             makespan=finish_time,
             flops=qr_flops(M, N),

@@ -76,6 +76,8 @@ def trace_events_json(
     graph: TaskGraph,
     *,
     fault_events: list[dict] | None = None,
+    comm_events: list[tuple[int, int, int, float, float, int]] | None = None,
+    counters: dict[str, list[tuple[float, float]]] | None = None,
 ) -> str:
     """Render a trace as Chrome ``trace_event`` JSON.
 
@@ -86,6 +88,16 @@ def trace_events_json(
     :class:`~repro.resilience.simulate.FaultyRunResult.fault_events` —
     appear as instant events on the affected node, which makes
     fault-recovery timelines directly inspectable.
+
+    ``comm_events`` — ``(producer, src, dst, depart, arrival, nbytes)``
+    tuples as captured by :class:`~repro.obs.events.Recorder` — render as
+    a dedicated "network" pseudo-process (one thread row per source node)
+    with flow arrows (``ph: s``/``f``) from each transfer to its
+    destination node, so tile movement is visible next to the compute
+    rows.  ``counters`` — ``name -> [(time, value), ...]`` series, e.g.
+    the busy-core timeline from
+    :func:`~repro.obs.metrics.utilization_timeline` — render as counter
+    tracks (``ph: C``).
 
     Times are exported in microseconds (the trace-event unit).
     """
@@ -127,6 +139,73 @@ def trace_events_json(
                 "args": {"name": f"node {node}"},
             }
         )
+    if comm_events:
+        # a pseudo-process above the node pids hosts the transfer spans;
+        # flow arrows bind each span to an instant on the receiving node
+        net_pid = max((node for _, node, _, _ in trace), default=-1) + 1
+        net_pid = max(net_pid, max(max(e[1], e[2]) for e in comm_events) + 1)
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": net_pid,
+                "args": {"name": "network"},
+            }
+        )
+        for i, (producer, src, dst, depart, arrival, nbytes) in enumerate(
+            comm_events
+        ):
+            args = {
+                "producer": producer,
+                "src": src,
+                "dst": dst,
+                "bytes": nbytes,
+            }
+            events.append(
+                {
+                    "name": f"send {src}->{dst}",
+                    "ph": "X",
+                    "pid": net_pid,
+                    "tid": src,
+                    "ts": us(depart),
+                    "dur": us(max(arrival - depart, 0.0)),
+                    "args": args,
+                }
+            )
+            events.append(
+                {
+                    "name": "tile",
+                    "ph": "s",
+                    "id": i,
+                    "cat": "comm",
+                    "pid": net_pid,
+                    "tid": src,
+                    "ts": us(depart),
+                }
+            )
+            events.append(
+                {
+                    "name": "tile",
+                    "ph": "f",
+                    "bp": "e",
+                    "id": i,
+                    "cat": "comm",
+                    "pid": dst,
+                    "tid": 0,
+                    "ts": us(arrival),
+                }
+            )
+    for name, series in (counters or {}).items():
+        for t, value in series:
+            events.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "pid": 0,
+                    "ts": us(t),
+                    "args": {name: value},
+                }
+            )
     for ev in fault_events or ():
         kind = ev.get("type", "fault")
         node = ev.get("node", ev.get("dst", 0))

@@ -49,6 +49,60 @@ def test_worker_crash_falls_back_serially(monkeypatch):
     assert parallel_map(_die_in_worker, [1, 2, 3], workers=2) == [1, 4, 9]
 
 
+def test_fallback_is_logged(monkeypatch, caplog):
+    """The serial fallback must be loud: a sweep silently losing its
+    parallelism was the old behavior."""
+    import logging
+    import os
+
+    monkeypatch.setenv(_PARENT_PID_ENV, str(os.getpid()))
+    with caplog.at_level(logging.WARNING, logger="repro.bench.parallel"):
+        parallel_map(_die_in_worker, [1, 2, 3], workers=2)
+    assert any("process pool failed" in r.message for r in caplog.records)
+
+
+def _fail_on_two(x):
+    if x == 2:
+        raise RuntimeError("boom")
+    return x
+
+
+def test_dropped_point_named_before_raise(caplog):
+    import logging
+
+    with caplog.at_level(logging.ERROR, logger="repro.bench.parallel"):
+        with pytest.raises(RuntimeError):
+            parallel_map(_fail_on_two, [1, 2, 3], workers=1)
+    assert any(
+        "sweep point 2/3 dropped" in r.message for r in caplog.records
+    )
+
+
+def _slow_or_fast(x):
+    import time as _t
+
+    _t.sleep(0.6 if x == 0 else 0.0)
+    return x
+
+
+def test_slow_point_flagged(caplog):
+    import logging
+
+    with caplog.at_level(logging.WARNING, logger="repro.bench.parallel"):
+        parallel_map(_slow_or_fast, [0, 1, 2, 3, 4], workers=1)
+    assert any(
+        "slow sweep point 0" in r.message for r in caplog.records
+    )
+
+
+def test_point_timings_feed_self_profile():
+    from repro.obs.profile import profiling
+
+    with profiling() as sp:
+        parallel_map(_square, [1, 2, 3], workers=1)
+    assert sp.stages["sweep_point"][1] == 3
+
+
 def test_default_workers_env(monkeypatch):
     monkeypatch.setenv("REPRO_BENCH_WORKERS", "3")
     assert default_workers() == 3
@@ -178,5 +232,8 @@ def test_cli_bench_smoke(tmp_path, capsys):
     assert report["benchmark"] == "simulator-pipeline"
     assert "compiled" in report["stages"]
     assert "reference" not in report["stages"]
+    # provenance stamp for the obs gate's cross-machine refusal
+    meta = report["meta"]
+    assert meta["python"] and meta["platform"] and meta["timestamp"]
     captured = capsys.readouterr()
     assert "simulator pipeline benchmark" in captured.out

@@ -250,7 +250,10 @@ class TestBenchReport:
         assert report_ok(report)
         text = format_resilience_report(report)
         assert "crash" in text and "fault-free makespan" in text
-        assert resilience_report(**kwargs) == report
+        assert report["meta"]["python"]  # provenance stamp for obs gate
+        second = resilience_report(**kwargs)
+        second["meta"] = report["meta"]  # stamp carries a wall-clock time
+        assert second == report
 
     def test_report_ok_fails_on_bad_kill_check(self):
         from repro.resilience.bench import report_ok

@@ -123,6 +123,85 @@ class TestTraceEventsJson:
         assert any(n.startswith("slowdown") for n in names)
 
 
+def small_graph():
+    cfg = HQRConfig(p=1, a=1)
+    return TaskGraph.from_eliminations(hqr_elimination_list(2, 1, cfg), 2, 1)
+
+
+class TestTraceEdgeCases:
+    def test_trace_events_json_empty_trace(self):
+        import json
+
+        g = TaskGraph(1, 1, [], [])
+        doc = json.loads(trace_events_json([], g))
+        assert doc["traceEvents"] == []
+
+    def test_fully_idle_cores_never_get_rows(self):
+        """Strictly serial spans reuse one thread row; the node's seven
+        idle cores produce no events at all."""
+        import json
+
+        g = small_graph()
+        trace = [(0, 0, 0.0, 1.0), (1, 0, 1.0, 2.0)]
+        doc = json.loads(trace_events_json(trace, g))
+        tids = {e["tid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert tids == {0}
+
+    def test_summarize_zero_duration_tasks(self):
+        g = small_graph()
+        s = summarize([(0, 0, 0.5, 0.5)], g)
+        assert s.makespan == 0.5
+        assert s.node_busy[0] == 0.0
+        assert s.utilization[0] == 0.0
+        assert s.imbalance() == 1.0
+
+    def test_per_core_utilization_zero_duration_tasks(self):
+        g = small_graph()
+        s = summarize([(0, 0, 0.5, 0.5), (1, 1, 0.0, 0.0)], g)
+        per_core = s.per_core_utilization(8)
+        assert per_core == {0: 0.0, 1: 0.0}
+
+    def test_comm_events_make_network_tracks(self):
+        import json
+
+        g = small_graph()
+        trace = [(0, 0, 0.0, 1.0), (1, 1, 1.5, 2.0)]
+        comms = [(0, 0, 1, 1.0, 1.5, 627200)]
+        doc = json.loads(trace_events_json(trace, g, comm_events=comms))
+        evs = doc["traceEvents"]
+        net_pid = next(
+            e["pid"]
+            for e in evs
+            if e["ph"] == "M" and e["args"]["name"] == "network"
+        )
+        assert net_pid > 1  # above every node pid
+        sends = [e for e in evs if e["ph"] == "X" and e["pid"] == net_pid]
+        assert len(sends) == 1
+        assert sends[0]["args"]["bytes"] == 627200
+        starts = [e for e in evs if e["ph"] == "s"]
+        finishes = [e for e in evs if e["ph"] == "f"]
+        assert len(starts) == len(finishes) == 1
+        assert starts[0]["id"] == finishes[0]["id"]
+        assert finishes[0]["pid"] == 1  # arrives on the destination node
+
+    def test_counter_tracks(self):
+        import json
+
+        g = small_graph()
+        doc = json.loads(
+            trace_events_json(
+                [(0, 0, 0.0, 1.0)],
+                g,
+                counters={"busy_cores": [(0.0, 1), (1.0, 0)]},
+            )
+        )
+        cs = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert [(e["ts"], e["args"]["busy_cores"]) for e in cs] == [
+            (0.0, 1),
+            (1e6, 0),
+        ]
+
+
 class TestGantt:
     def test_renders_one_row_per_node(self):
         g, res = run_traced(12, 6, BlockCyclic2D(2, 2))
