@@ -29,7 +29,7 @@ import sysconfig
 import tempfile
 from pathlib import Path
 
-__all__ = ["cache_root", "get_lib", "native_available"]
+__all__ = ["cache_root", "get_lib", "native_available", "openmp_available"]
 
 
 def cache_root() -> Path:
@@ -49,6 +49,20 @@ _C_SOURCE = r"""
 #include <stdint.h>
 #include <stdlib.h>
 #include <string.h>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+/* 1 when this library was compiled with OpenMP support (the build tries
+ * -fopenmp first and silently falls back), 0 otherwise. */
+int32_t hqr_openmp(void) {
+#ifdef _OPENMP
+    return 1;
+#else
+    return 0;
+#endif
+}
 
 /* ------------------------------------------------------------------ *
  * Event heap: min-heap ordered by (time, code).  Codes are unique per
@@ -478,6 +492,73 @@ done:
 }
 
 /* ------------------------------------------------------------------ *
+ * Batched cluster loop: many independent sweep points in one call.
+ *
+ * The points share one concatenated structure-of-arrays arena:
+ * task_off/edge_off/slot_off are (npoints+1) prefix-sum offsets into the
+ * per-task, per-edge and per-slot arrays; point p's succ_ptr slice lives
+ * at succ_ptr + task_off[p] + p (each point contributes ntasks+1
+ * entries) and holds point-local edge indices.  Durations are gathered
+ * per point from a shared npoints x 6 kernel-kind table, so the caller
+ * ships 6 doubles per point instead of ntasks.
+ *
+ * Each point runs the exact scalar hqr_simulate_cluster — points are
+ * fully independent, so the OpenMP fan-out (enabled when the library was
+ * built with -fopenmp; nthreads <= 0 means the OpenMP default) is
+ * bit-identical to the serial loop.  Per-point rc codes land in out_rc;
+ * the return value is 0 only when every point succeeded.
+ * ------------------------------------------------------------------ */
+int32_t hqr_simulate_cluster_batch(
+    int64_t npoints, int32_t nthreads,
+    const int64_t *task_off, const int64_t *edge_off, const int64_t *slot_off,
+    int32_t nnodes, int32_t cores_per_node,
+    const double *dur_tables, const int8_t *kind,
+    const int32_t *node_of, const int32_t *waiting_init,
+    const int64_t *succ_ptr, const int32_t *succ_idx,
+    const int32_t *edge_slot,
+    const int32_t *rank, const int32_t *task_of_rank,
+    int32_t serialized, int32_t hierarchical,
+    double lat_intra, double bwt_intra, double lat_inter, double bwt_inter,
+    const int32_t *site_of, int32_t data_reuse,
+    double *out_makespan, double *out_busy, int64_t *out_messages,
+    int32_t *out_rc)
+{
+    int64_t p;
+#ifdef _OPENMP
+    int nt = nthreads > 0 ? nthreads : omp_get_max_threads();
+#pragma omp parallel for schedule(dynamic) num_threads(nt)
+#endif
+    for (p = 0; p < npoints; p++) {
+        int64_t t0 = task_off[p];
+        int64_t ntasks = task_off[p + 1] - t0;
+        const double *table = dur_tables + 6 * p;
+        double *dur =
+            (double *)malloc((size_t)(ntasks > 0 ? ntasks : 1) * sizeof(double));
+        if (!dur) {
+            out_rc[p] = -1;
+            continue;
+        }
+        for (int64_t t = 0; t < ntasks; t++)
+            dur[t] = table[kind[t0 + t]];
+        out_rc[p] = hqr_simulate_cluster(
+            ntasks, nnodes, cores_per_node, dur,
+            node_of + t0, waiting_init + t0,
+            succ_ptr + t0 + p, succ_idx + edge_off[p],
+            edge_slot + edge_off[p], slot_off[p + 1] - slot_off[p],
+            rank + t0, task_of_rank + t0,
+            serialized, hierarchical,
+            lat_intra, bwt_intra, lat_inter, bwt_inter,
+            site_of, data_reuse,
+            out_makespan + p, out_busy + p, out_messages + p);
+        free(dur);
+    }
+    for (p = 0; p < npoints; p++)
+        if (out_rc[p] != 0)
+            return 1;
+    return 0;
+}
+
+/* ------------------------------------------------------------------ *
  * Accelerated-cluster event loop.  Mirrors AcceleratedSimulator.run.
  * Event codes: t = CPU finish, ntasks+t = accelerator finish,
  * 2*ntasks+t = data arrival.  Ready-queue keys are task ids (the
@@ -707,7 +788,7 @@ def _build() -> ctypes.CDLL | None:
                 src = Path(tmp) / "hqr_ccore.c"
                 src.write_text(_C_SOURCE)
                 out = Path(tmp) / "hqr_ccore.so"
-                cmd = cc.split() + [
+                flags = [
                     "-O2",
                     "-fPIC",
                     "-shared",
@@ -716,9 +797,23 @@ def _build() -> ctypes.CDLL | None:
                     "-o",
                     str(out),
                 ]
-                subprocess.run(
-                    cmd, check=True, capture_output=True, timeout=120
-                )
+                # OpenMP is optional: it only fans the *batch* loop out
+                # over sweep points (each point is bit-identical either
+                # way), so a toolchain without libgomp just loses the
+                # thread-level parallelism, not correctness
+                built = False
+                for extra in (["-fopenmp"], []):
+                    try:
+                        subprocess.run(
+                            cc.split() + extra + flags,
+                            check=True, capture_output=True, timeout=120,
+                        )
+                        built = True
+                        break
+                    except subprocess.CalledProcessError:
+                        continue
+                if not built:
+                    return None
                 os.replace(out, sopath)  # atomic publish
         except (OSError, subprocess.SubprocessError):
             return None
@@ -744,6 +839,15 @@ def _build() -> ctypes.CDLL | None:
         i64, i32, i32, f64p, i32p, i32p, i64p, i32p, i32p, i64,
         i32p, i32p, i32, i32, f64, f64, f64, f64, i32p, i32,
         f64p, f64p, i64p,
+    ]
+    lib.hqr_openmp.restype = i32
+    lib.hqr_openmp.argtypes = []
+    lib.hqr_simulate_cluster_batch.restype = i32
+    lib.hqr_simulate_cluster_batch.argtypes = [
+        i64, i32, i64p, i64p, i64p, i32, i32,
+        f64p, i8p, i32p, i32p, i64p, i32p, i32p,
+        i32p, i32p, i32, i32, f64, f64, f64, f64, i32p, i32,
+        f64p, f64p, i64p, i32p,
     ]
     lib.hqr_simulate_acc.restype = i32
     lib.hqr_simulate_acc.argtypes = [
@@ -783,3 +887,14 @@ def get_lib() -> ctypes.CDLL | None:
 def native_available() -> bool:
     """True when the C core can be (or has been) loaded."""
     return get_lib() is not None
+
+
+def openmp_available() -> bool:
+    """True when the loaded native core was built with OpenMP.
+
+    Queried from the library itself (``hqr_openmp``) rather than from the
+    build flags, so a cached ``.so`` compiled by an earlier process
+    reports its actual capability.
+    """
+    lib = get_lib()
+    return bool(lib is not None and lib.hqr_openmp())

@@ -160,15 +160,163 @@ def _run_point(item) -> SimulationResult:
     return run_config(m, n, config, setup=setup, layout=layout)
 
 
+def _build_point(item) -> None:
+    """Build one point's graph into the shared disk cache (no simulate).
+
+    Module-level and picklable: the batched sweep fans the cold-cache
+    build phase out over the pool, then the parent loads every graph
+    back through the memory-mapped cache.
+    """
+    m, n, config, setup, layout = item
+    from repro.dag.cache import default_cache, fingerprint
+    from repro.dag.compiled import compiled_from_eliminations
+
+    lay = layout if layout is not None else setup.layout
+    key = fingerprint(m, n, config, lay, setup.machine, setup.b)
+
+    def build():
+        with stage("elim"):
+            elims = hqr_elimination_list(m, n, config)
+        with stage("dag_build"):
+            return compiled_from_eliminations(
+                elims, m, n, lay, setup.machine, setup.b
+            )
+
+    default_cache().get_or_build(key, build)
+
+
+def _sim_arena_point(item) -> SimulationResult:
+    """Simulate one point against the attached shared-memory arena."""
+    handle, index, machine, b = item
+    from repro.bench.shm import attach
+    from repro.runtime.compiled import simulate_compiled
+
+    cg = attach(handle)[index]
+    with stage("simulate"):
+        return simulate_compiled(cg, machine, b)
+
+
+def batch_default() -> bool:
+    """Batched dispatch is the default; ``REPRO_BENCH_BATCH=0`` opts out."""
+    return os.environ.get("REPRO_BENCH_BATCH", "1") != "0"
+
+
 def run_config_sweep(
     points,
     setup: BenchSetup | None = None,
     *,
     workers: int | None = None,
+    batch: bool | None = None,
 ) -> list[SimulationResult]:
-    """Simulate many ``(m, n, config)`` points through the parallel sweep
-    engine, preserving input order (results are identical for any worker
-    count)."""
+    """Simulate many ``(m, n, config)`` points, preserving input order.
+
+    Two dispatch modes, bit-identical in results:
+
+    * ``batch=False`` — the legacy engine: each point is shipped to a
+      pool worker as a pickled ``(m, n, config)`` tuple and built +
+      simulated there.
+    * ``batch=True`` (default, ``REPRO_BENCH_BATCH=0`` reverts) — graphs
+      are built once (cold points fan the *build* out over the pool,
+      then load back through the memory-mapped cache) and simulated via
+      the cheapest available transport: one batched C call
+      (``simulate_compiled_batch``), a shared-memory arena fanned over
+      the pool for the pure-Python core, or the serial incremental
+      sweep.
+
+    The reference engine (``REPRO_SIM_CORE=reference``) always uses the
+    legacy per-point path — there is no compiled graph to share.
+    """
+    from repro.runtime.compiled import core_mode
+
     setup = setup or BenchSetup()
-    items = [(m, n, cfg, setup, None) for m, n, cfg in points]
-    return parallel_map(_run_point, items, workers=workers)
+    if batch is None:
+        batch = batch_default()
+    if not batch or core_mode() == "reference" or not points:
+        items = [(m, n, cfg, setup, None) for m, n, cfg in points]
+        return parallel_map(_run_point, items, workers=workers)
+    return _sweep_batched(list(points), setup, workers)
+
+
+def _sweep_batched(points, setup, workers) -> list[SimulationResult]:
+    from repro.bench.parallel import default_workers, log_transport
+    from repro.dag.cache import default_cache, fingerprint
+    from repro.obs.events import active as _obs_active
+    from repro.runtime.compiled import (
+        _pick_engine,
+        simulate_compiled_batch,
+    )
+    from repro.runtime.incremental import run_sweep_incremental
+
+    machine, b = setup.machine, setup.b
+    eff_workers = workers if workers is not None else default_workers()
+    rec = _obs_active()
+    want_tasks = rec is not None and rec.want_tasks
+    c_lib = _pick_engine(None) if not want_tasks else None
+
+    if c_lib is None and eff_workers <= 1:
+        # pure-Python serial sweep: the incremental engine reuses DAG
+        # prefixes and event-heap state between compatible neighbors
+        log_transport("incremental", workers=1, points=len(points))
+        return run_sweep_incremental(points, setup)
+
+    # -- build every graph once (parent-side, pool-assisted when cold) --
+    cache = default_cache()
+    keys = []
+    for m, n, cfg in points:
+        try:
+            keys.append(fingerprint(m, n, cfg, setup.layout, machine, b))
+        except TypeError:
+            keys.append(None)
+    cold = [
+        i for i, key in enumerate(keys)
+        if key is not None and not cache.contains(key)
+    ]
+    if cold and eff_workers > 1 and len(cold) > 1:
+        items = [(*points[i], setup, None) for i in cold]
+        # transport="" : build fan-out, not the sweep's point transport
+        parallel_map(_build_point, items, workers=workers, transport="")
+        cache.clear_memory()  # reload below through the mmap path
+    graphs = []
+    with stage("graph"):
+        for (m, n, cfg), key in zip(points, keys):
+            def build(m=m, n=n, cfg=cfg):
+                with stage("elim"):
+                    elims = hqr_elimination_list(m, n, cfg)
+                with stage("dag_build"):
+                    from repro.dag.compiled import compiled_from_eliminations
+
+                    return compiled_from_eliminations(
+                        elims, m, n, setup.layout, machine, b
+                    )
+
+            if key is None:
+                graphs.append(build())
+            else:
+                graphs.append(cache.get_or_build(key, build))
+
+    # -- dispatch ------------------------------------------------------ #
+    if c_lib is not None:
+        log_transport("batched-c", workers=1, points=len(points))
+        return simulate_compiled_batch(graphs, machine, b)
+
+    if eff_workers > 1 and len(points) > 1:
+        from concurrent.futures import BrokenExecutor
+
+        from repro.bench.shm import GraphArena
+
+        with GraphArena.publish(graphs) as arena:
+            items = [
+                (arena.handle, i, machine, b) for i in range(len(points))
+            ]
+            try:
+                return parallel_map(
+                    _sim_arena_point, items,
+                    workers=workers, transport="shared-memory",
+                )
+            except (OSError, BrokenExecutor):  # pragma: no cover
+                pass  # fall through to the serial path below
+    log_transport("serial", workers=1, points=len(points))
+    from repro.runtime.compiled import simulate_compiled
+
+    with stage("dispatch_compute"):
+        return [simulate_compiled(cg, machine, b) for cg in graphs]

@@ -374,11 +374,17 @@ def cmd_bench(args) -> int:
     )
 
     saved = os.environ.get("REPRO_BENCH_SCALE")
+    saved_core = os.environ.get("REPRO_SIM_CORE")
     if args.scale:
         os.environ["REPRO_BENCH_SCALE"] = args.scale
+    if args.engine:
+        # the env var reaches pool workers too, unlike a parameter
+        os.environ["REPRO_SIM_CORE"] = args.engine
     try:
         report = bench_report(
-            skip_reference=args.skip_reference, workers=args.workers
+            skip_reference=args.skip_reference,
+            workers=args.workers,
+            batch=args.batch,
         )
     finally:
         if args.scale:
@@ -386,6 +392,11 @@ def cmd_bench(args) -> int:
                 os.environ.pop("REPRO_BENCH_SCALE", None)
             else:
                 os.environ["REPRO_BENCH_SCALE"] = saved
+        if args.engine:
+            if saved_core is None:
+                os.environ.pop("REPRO_SIM_CORE", None)
+            else:
+                os.environ["REPRO_SIM_CORE"] = saved_core
     print(format_report(report))
     if args.json:
         write_report(report, args.json)
@@ -671,6 +682,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--workers", type=int, help="parallel sweep workers (default: CPUs)"
+    )
+    batch = p.add_mutually_exclusive_group()
+    batch.add_argument(
+        "--batch",
+        dest="batch",
+        action="store_true",
+        default=True,
+        help="also time the batched dispatch path (default)",
+    )
+    batch.add_argument(
+        "--no-batch",
+        dest="batch",
+        action="store_false",
+        help="per-point dispatch only (skip the batched section)",
+    )
+    p.add_argument(
+        "--engine",
+        choices=("auto", "c", "python", "reference"),
+        help="pin the simulation core for this run (REPRO_SIM_CORE)",
     )
     p.add_argument(
         "--baseline", help="BENCH_*.json to compare the micro benchmark against"

@@ -33,8 +33,14 @@ __all__ = [
 #: metadata fields that must match for wall-times to be comparable
 MACHINE_FIELDS = ("platform", "cpu_count", "python")
 
-#: dotted paths of gated wall-time metrics
-GATED_METRICS = ("micro.compiled_s", "micro.reference_s", "sweep_wall_s")
+#: dotted paths of gated wall-time metrics (absent-in-either is skipped,
+#: so baselines predating a metric still gate on the rest)
+GATED_METRICS = (
+    "micro.compiled_s",
+    "micro.reference_s",
+    "sweep_wall_s",
+    "sweep_batched_wall_s",
+)
 
 
 def _git_sha() -> str | None:

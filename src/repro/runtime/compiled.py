@@ -37,6 +37,7 @@ import numpy as np
 from repro import _ccore
 from repro.dag.compiled import KIND_ORDER, CompiledGraph
 from repro.obs.events import active as _obs_active
+from repro.obs.profile import stage
 from repro.runtime.accelerated import ACC_KERNELS
 from repro.runtime.machine import Machine
 from repro.runtime.simulator import SimulationResult, qr_flops
@@ -44,8 +45,10 @@ from repro.runtime.simulator import SimulationResult, qr_flops
 __all__ = [
     "acc_duration_table",
     "core_mode",
+    "sim_threads",
     "simulate_compiled",
     "simulate_compiled_acc",
+    "simulate_compiled_batch",
 ]
 
 
@@ -81,6 +84,24 @@ def core_mode() -> str:
             f"REPRO_SIM_CORE must be auto/c/python/reference, got {mode!r}"
         )
     return mode
+
+
+def sim_threads() -> int:
+    """OpenMP thread count for batched dispatch (``REPRO_SIM_THREADS``).
+
+    0 (the default) lets the OpenMP runtime pick; the result only affects
+    wall time — batch points are independent, so any thread count is
+    bit-identical.
+    """
+    env = os.environ.get("REPRO_SIM_THREADS")
+    if not env:
+        return 0
+    try:
+        return max(0, int(env))
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SIM_THREADS must be an integer, got {env!r}"
+        ) from None
 
 
 def priority_ranks(prio, ntasks: int) -> tuple[np.ndarray, np.ndarray]:
@@ -403,6 +424,192 @@ def _py_cluster(
     if any(w > 0 for w in waiting):  # pragma: no cover - cycle guard
         raise RuntimeError("simulation stalled with unfinished tasks")
     return finish_time, busy, messages
+
+
+# --------------------------------------------------------------------- #
+# batched cluster dispatch
+# --------------------------------------------------------------------- #
+def simulate_compiled_batch(
+    graphs,
+    machine: Machine,
+    b: int,
+    *,
+    prios=None,
+    data_reuse: bool = False,
+    core: str | None = None,
+) -> list[SimulationResult]:
+    """Run many compiled graphs through the cluster loop in one dispatch.
+
+    All graphs share the machine, tile size, and data-reuse flag (one
+    sweep); ``prios`` is an optional per-graph priority-vector list.  The
+    C path concatenates every graph into one structure-of-arrays arena
+    and makes a *single* Python->C call (``hqr_simulate_cluster_batch``),
+    fanned out over points with OpenMP when the core was built with it
+    (``REPRO_SIM_THREADS`` overrides the thread count).  Results are
+    bit-identical to calling :func:`simulate_compiled` per graph — the C
+    side runs the exact scalar loop on per-point array slices, and the
+    fallback path *is* the per-graph loop.
+    """
+    npoints = len(graphs)
+    if npoints == 0:
+        return []
+    if prios is None:
+        prios = [None] * npoints
+    if len(prios) != npoints:
+        raise ValueError(
+            f"prios has {len(prios)} entries for {npoints} graphs"
+        )
+    rec = _obs_active()
+    wall0 = time.perf_counter() if rec is not None else 0.0
+    tile_bytes = machine.tile_bytes(b)
+
+    lib = _pick_engine(core)
+    if lib is not None and rec is not None and rec.want_tasks:
+        rec.note("engine_fallback", reason="task-level recording", frm="c-batch")
+        lib = None
+    results: list[SimulationResult | None] = [None] * npoints
+    # empty graphs never reach the C core: malloc(0) is allowed to return
+    # NULL, which the scalar loop would misread as allocation failure
+    live = [i for i in range(npoints) if graphs[i].ntasks > 0]
+    for i in range(npoints):
+        if graphs[i].ntasks == 0:
+            results[i] = SimulationResult(
+                0.0, 0.0, 0, 0, 0.0, machine.cores, None
+            )
+
+    batch = None
+    if lib is not None and live:
+        with stage("dispatch_pack"):
+            batch = _pack_batch(graphs, prios, live)
+    if batch is not None:
+        with stage("dispatch_compute"):
+            out = _c_cluster_batch(lib, batch, machine, b, data_reuse)
+        if out is None:
+            batch = None  # allocation failure: retry per point in Python
+        else:
+            makespans, busys, msgs = out
+            for j, i in enumerate(live):
+                cg = graphs[i]
+                results[i] = SimulationResult(
+                    makespan=float(makespans[j]),
+                    flops=qr_flops(cg.m * b, cg.n * b),
+                    messages=int(msgs[j]),
+                    bytes_sent=int(msgs[j]) * tile_bytes,
+                    busy_seconds=float(busys[j]),
+                    cores=machine.cores,
+                    trace=None,
+                )
+            if rec is not None:
+                rec.run(
+                    engine="c-batch",
+                    loop="cluster",
+                    wall_s=time.perf_counter() - wall0,
+                    points=len(live),
+                    ntasks=int(batch["task_off"][-1]),
+                    threads=sim_threads(),
+                    openmp=_ccore.openmp_available(),
+                )
+    if batch is None and live:
+        # bit-identical fallback: the scalar path per point (pure-Python
+        # core, or C per point when only the batch packing failed)
+        with stage("dispatch_compute"):
+            for i in live:
+                results[i] = simulate_compiled(
+                    graphs[i], machine, b,
+                    prio=prios[i], data_reuse=data_reuse, core=core,
+                )
+    return results  # type: ignore[return-value]
+
+
+def _pack_batch(graphs, prios, live) -> dict:
+    """Concatenate per-point graph arrays into one batch arena."""
+    npoints = len(live)
+    task_off = np.zeros(npoints + 1, dtype=np.int64)
+    edge_off = np.zeros(npoints + 1, dtype=np.int64)
+    slot_off = np.zeros(npoints + 1, dtype=np.int64)
+    for j, i in enumerate(live):
+        cg = graphs[i]
+        task_off[j + 1] = task_off[j] + cg.ntasks
+        edge_off[j + 1] = edge_off[j] + len(cg.succ_idx)
+        slot_off[j + 1] = slot_off[j] + cg.nslots
+    cat = np.concatenate
+    ranks = []
+    orders = []
+    for j, i in enumerate(live):
+        r, o = priority_ranks(prios[i], graphs[i].ntasks)
+        ranks.append(r)
+        orders.append(o)
+    live_graphs = [graphs[i] for i in live]
+    dur_tables = np.ascontiguousarray(
+        np.stack([cg.dur_table for cg in live_graphs]).ravel(), dtype=np.float64
+    )
+    return {
+        "task_off": task_off,
+        "edge_off": edge_off,
+        "slot_off": slot_off,
+        "dur_tables": dur_tables,
+        "kind": np.ascontiguousarray(cat([cg.kind for cg in live_graphs])),
+        "node": np.ascontiguousarray(cat([cg.node for cg in live_graphs])),
+        "waiting": np.ascontiguousarray(
+            cat([cg.pred_counts for cg in live_graphs])
+        ),
+        "succ_ptr": np.ascontiguousarray(
+            cat([cg.succ_ptr for cg in live_graphs])
+        ),
+        "succ_idx": np.ascontiguousarray(
+            cat([cg.succ_idx for cg in live_graphs])
+        ),
+        "edge_slot": np.ascontiguousarray(
+            cat([cg.edge_slot for cg in live_graphs])
+        ),
+        "rank": np.ascontiguousarray(cat(ranks)),
+        "task_of_rank": np.ascontiguousarray(cat(orders)),
+    }
+
+
+def _c_cluster_batch(lib, batch, machine: Machine, b: int, data_reuse: bool):
+    npoints = len(batch["task_off"]) - 1
+    tile_bytes = machine.tile_bytes(b)
+    nnodes = machine.nodes
+    hierarchical = machine.site_size > 0
+    inf = float("inf")
+    bwt_intra = tile_bytes / machine.bandwidth if machine.bandwidth != inf else 0.0
+    bwt_inter = (
+        tile_bytes / machine.inter_site_bandwidth if hierarchical else 0.0
+    )
+    site_of = (
+        np.arange(nnodes, dtype=np.int32) // machine.site_size
+        if hierarchical
+        else np.zeros(nnodes, dtype=np.int32)
+    )
+    out_mk = np.zeros(npoints, dtype=np.float64)
+    out_busy = np.zeros(npoints, dtype=np.float64)
+    out_msgs = np.zeros(npoints, dtype=np.int64)
+    out_rc = np.zeros(npoints, dtype=np.int32)
+    i32, i64, f64 = ctypes.c_int32, ctypes.c_int64, ctypes.c_double
+    rc = lib.hqr_simulate_cluster_batch(
+        i64(npoints), i32(sim_threads()),
+        _ptr(batch["task_off"], i64), _ptr(batch["edge_off"], i64),
+        _ptr(batch["slot_off"], i64),
+        i32(nnodes), i32(machine.cores_per_node),
+        _ptr(batch["dur_tables"], f64),
+        _ptr(batch["kind"], ctypes.c_int8),
+        _ptr(batch["node"], i32), _ptr(batch["waiting"], i32),
+        _ptr(batch["succ_ptr"], i64), _ptr(batch["succ_idx"], i32),
+        _ptr(batch["edge_slot"], i32),
+        _ptr(batch["rank"], i32), _ptr(batch["task_of_rank"], i32),
+        i32(1 if machine.comm_serialized else 0), i32(1 if hierarchical else 0),
+        f64(machine.latency), f64(bwt_intra),
+        f64(machine.inter_site_latency), f64(bwt_inter),
+        _ptr(site_of, i32), i32(1 if data_reuse else 0),
+        _ptr(out_mk, f64), _ptr(out_busy, f64), _ptr(out_msgs, i64),
+        _ptr(out_rc, i32),
+    )
+    if rc != 0:
+        if np.any(out_rc == 1):  # pragma: no cover - cycle guard
+            raise RuntimeError("simulation stalled with unfinished tasks")
+        return None  # allocation failure somewhere: retry in Python
+    return out_mk, out_busy, out_msgs
 
 
 # --------------------------------------------------------------------- #

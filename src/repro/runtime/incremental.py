@@ -1,0 +1,556 @@
+"""Incremental re-simulation of sweep points sharing a schedule prefix.
+
+Neighboring sweep points often differ only in a parameter that leaves a
+prefix of the elimination list intact (same low-level tree and domains,
+diverging high-level tree; or a pure ``a``/tree change late in the list).
+The kernel-DAG expansion and the event loop are both deterministic left
+folds over that list, so everything the shared prefix produces — task
+arrays, ``last_writer`` table, and the event-heap state up to the first
+event that can *see* the divergent suffix — can be captured once and
+resumed onto the next point instead of recomputed.
+
+Soundness hinges on the **frontier**: the set of task ids present in the
+builder's ``last_writer`` table at the shared boundary.  Every
+prefix-to-suffix dependency edge originates at a frontier task (the first
+suffix reader of a tile sees exactly the boundary ``last_writer``), and
+every *non*-frontier prefix task has identical successor lists in both
+graphs.  The guarded run therefore captures two checkpoints:
+
+* ``ck0`` — during the initial ready scan, just before the first suffix
+  task id is scanned (resume replays the suffix scan and the whole event
+  loop; needed when the new suffix contains zero-predecessor tasks,
+  which a fresh run would have launched at time 0);
+* ``ck1`` — in the event loop, just before the first pop of a frontier
+  task's *finish* (or any suffix event): every event processed before it
+  touches only non-frontier prefix state shared by both graphs.
+
+Cross-graph state is stored graph-independently: message slots are keyed
+by ``(producer task, destination node)`` pairs (slot ids are renumbered
+per graph) and arrival event codes are re-based from ``ntasks_old`` to
+``ntasks_new`` (finish codes are below both, so heap order — and hence
+the schedule — is preserved).
+
+Scope: program-order priorities (``prio=None``), no task-level recording,
+equal ``n``/layout/machine/``b`` between the pair (``m`` may differ).
+:func:`run_sweep_incremental` plans consecutive pairs, alternating a
+guarded donor run with a resumed run — a resumed run cannot itself donate
+(its pre-resume guard window was never observed) — and falls back to the
+ordinary per-point path whenever the prefix is too short to pay off.
+Results are bit-identical to :func:`repro.runtime.compiled
+.simulate_compiled` either way; the equivalence suite in
+``tests/runtime/test_incremental.py`` asserts it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dag.compiled import CompiledGraph
+from repro.obs.events import active as _obs_active
+from repro.obs.profile import stage
+from repro.runtime.machine import Machine
+from repro.runtime.simulator import SimulationResult, qr_flops
+
+__all__ = [
+    "IncrementalStats",
+    "SimCheckpoint",
+    "common_prefix_len",
+    "resume_simulation",
+    "run_sweep_incremental",
+    "simulate_guarded",
+]
+
+#: a pair fires only when the shared prefix covers at least this fraction
+#: of the shorter elimination list (below that the replay dominates)
+MIN_PREFIX_FRAC = 0.25
+
+
+def common_prefix_len(a, b) -> int:
+    """Length of the common leading run of two elimination lists."""
+    n = 0
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        n += 1
+    return n
+
+
+@dataclass
+class SimCheckpoint:
+    """Event-loop state restricted to the shared task prefix.
+
+    ``phase`` records where the capture happened (``scan`` = ck0,
+    ``loop`` = ck1).  All prefix-indexed arrays are sliced to
+    ``suffix_start``; ``slot_pairs`` maps touched message slots to their
+    arrival times by graph-independent ``(producer, dest-node)`` keys;
+    ``events`` still carries donor-graph arrival codes (re-based against
+    ``ntasks`` on resume).
+    """
+
+    suffix_start: int
+    ntasks: int
+    phase: str
+    events: list
+    data_ready: list
+    waiting: list
+    state: bytes
+    free_cores: list
+    ready: list
+    chan_free: list
+    slot_pairs: dict
+    busy: float
+    finish_time: float
+    messages: int
+
+
+def _machine_params(machine: Machine, b: int):
+    tile_bytes = machine.tile_bytes(b)
+    hierarchical = machine.site_size > 0
+    inf = float("inf")
+    bwt_intra = tile_bytes / machine.bandwidth if machine.bandwidth != inf else 0.0
+    bwt_inter = (
+        tile_bytes / machine.inter_site_bandwidth if hierarchical else 0.0
+    )
+    if hierarchical:
+        site = (np.arange(machine.nodes) // machine.site_size).tolist()
+    else:
+        site = [0] * machine.nodes
+    return (
+        machine.nodes,
+        machine.cores_per_node,
+        machine.comm_serialized,
+        hierarchical,
+        machine.latency,
+        bwt_intra,
+        machine.inter_site_latency,
+        bwt_inter,
+        site,
+    )
+
+
+def _slot_pair_arrays(cg: CompiledGraph) -> tuple[list, list]:
+    """Per-slot ``(producer task, destination node)`` — the
+    graph-independent identity of each message slot."""
+    nslots = cg.nslots
+    prod = np.zeros(nslots, dtype=np.int64)
+    dest = np.zeros(nslots, dtype=np.int64)
+    if nslots:
+        producer = np.repeat(
+            np.arange(cg.ntasks, dtype=np.int64), np.diff(cg.succ_ptr)
+        )
+        mask = cg.edge_slot >= 0
+        slots = cg.edge_slot[mask]
+        prod[slots] = producer[mask]
+        dest[slots] = cg.node[cg.succ_idx[mask]]
+    return prod.tolist(), dest.tolist()
+
+
+def simulate_guarded(
+    cg: CompiledGraph,
+    machine: Machine,
+    b: int,
+    *,
+    suffix_start: int,
+    frontier: set,
+    data_reuse: bool = False,
+):
+    """Program-order python event loop capturing resume checkpoints.
+
+    Bit-identical to ``simulate_compiled(..., prio=None, core="python")``
+    — the checkpoint captures are pure state copies taken between events.
+    Returns ``((makespan, busy, messages), ck0, ck1)``; ``ck1`` is None
+    when the heap drains before any frontier finish (empty frontier).
+    """
+    out = _run_cluster(
+        cg, machine, b, data_reuse,
+        suffix_start=suffix_start, frontier=frontier,
+    )
+    return out
+
+
+def resume_simulation(
+    cg: CompiledGraph,
+    machine: Machine,
+    b: int,
+    ck: SimCheckpoint,
+    *,
+    data_reuse: bool = False,
+):
+    """Continue a checkpoint on a graph sharing the checkpoint's prefix.
+
+    Returns ``(makespan, busy, messages)`` — bit-identical to a fresh
+    run of ``cg`` when the caller honored the ck0/ck1 selection rule
+    (ck1 only when the new suffix has no zero-predecessor tasks).
+    """
+    (result, _, _) = _run_cluster(
+        cg, machine, b, data_reuse, resume_from=ck
+    )
+    return result
+
+
+def _run_cluster(
+    cg: CompiledGraph,
+    machine: Machine,
+    b: int,
+    data_reuse: bool,
+    *,
+    suffix_start: int | None = None,
+    frontier: set | None = None,
+    resume_from: SimCheckpoint | None = None,
+):
+    """One python cluster event loop, guarded or resumed.
+
+    The loop body mirrors ``repro.runtime.compiled._py_cluster`` with
+    identity ranks (ready heaps hold task ids directly — identical order
+    to rank heaps under program-order priorities).
+    """
+    ntasks = cg.ntasks
+    (
+        nnodes, cores_per_node, serialized, hierarchical,
+        lat_intra, bwt_intra, lat_inter, bwt_inter, site,
+    ) = _machine_params(machine, b)
+
+    dur = cg.dur_table[cg.kind].tolist()
+    node = cg.node.tolist()
+    sp = cg.succ_ptr.tolist()
+    si = cg.succ_idx.tolist()
+    slot_of = cg.edge_slot.tolist()
+    pair_prod, pair_dest = _slot_pair_arrays(cg)
+
+    push, pop = heapq.heappush, heapq.heappop
+    guard = resume_from is None and suffix_start is not None
+
+    if resume_from is None:
+        waiting = cg.pred_counts.tolist()
+        data_ready = [0.0] * ntasks
+        free_cores = [cores_per_node] * nnodes
+        ready: list[list[int]] = [[] for _ in range(nnodes)]
+        chan_free = [0.0] * nnodes
+        slot_arrival = [-1.0] * cg.nslots
+        state = bytearray(ntasks)
+        events: list[tuple[float, int]] = []
+        busy = 0.0
+        finish_time = 0.0
+        messages = 0
+        scan_from = 0
+    else:
+        ck = resume_from
+        tc = ck.suffix_start
+        if tc > ntasks:
+            raise ValueError(
+                f"checkpoint prefix {tc} exceeds graph size {ntasks}"
+            )
+        pc = cg.pred_counts
+        waiting = list(ck.waiting) + pc[tc:].tolist()
+        data_ready = list(ck.data_ready) + [0.0] * (ntasks - tc)
+        state = bytearray(ck.state) + bytearray(ntasks - tc)
+        free_cores = list(ck.free_cores)
+        ready = [list(h) for h in ck.ready]
+        chan_free = list(ck.chan_free)
+        slot_arrival = [-1.0] * cg.nslots
+        if ck.slot_pairs:
+            pair_to_slot = {
+                (pair_prod[s], pair_dest[s]): s for s in range(cg.nslots)
+            }
+            for pair, arr in ck.slot_pairs.items():
+                slot_arrival[pair_to_slot[pair]] = arr
+        # re-base arrival codes from the donor's ntasks; finish codes are
+        # task ids below both sizes, so every heap comparison — and hence
+        # the pop order — is unchanged
+        shift = ntasks - ck.ntasks
+        events = [
+            (tm, code if code < ck.ntasks else code + shift)
+            for tm, code in ck.events
+        ]
+        busy = ck.busy
+        finish_time = ck.finish_time
+        messages = ck.messages
+        scan_from = tc
+
+    def try_start(t: int, now: float) -> None:
+        nd = node[t]
+        dr = data_ready[t]
+        start = dr if dr > now else now
+        if free_cores[nd] > 0:
+            free_cores[nd] -= 1
+            launch(t, start)
+        else:
+            state[t] = 1
+            push(ready[nd], t)
+
+    def launch(t: int, start: float) -> None:
+        nonlocal busy, finish_time
+        state[t] = 2
+        d = dur[t]
+        end = start + d
+        busy += d
+        if end > finish_time:
+            finish_time = end
+        push(events, (end, t))
+
+    def snapshot(phase: str) -> SimCheckpoint:
+        cut = suffix_start
+        touched = {}
+        for s, arr in enumerate(slot_arrival):
+            if arr >= 0.0:
+                touched[(pair_prod[s], pair_dest[s])] = arr
+        return SimCheckpoint(
+            suffix_start=cut,
+            ntasks=ntasks,
+            phase=phase,
+            events=list(events),
+            data_ready=data_ready[:cut],
+            waiting=waiting[:cut],
+            state=bytes(state[:cut]),
+            free_cores=list(free_cores),
+            ready=[list(h) for h in ready],
+            chan_free=list(chan_free),
+            slot_pairs=touched,
+            busy=busy,
+            finish_time=finish_time,
+            messages=messages,
+        )
+
+    ck0 = None
+    for t in range(scan_from, ntasks):
+        if guard and t == suffix_start:
+            ck0 = snapshot("scan")
+        if waiting[t] == 0:
+            try_start(t, 0.0)
+    if guard and ck0 is None:  # suffix_start == ntasks
+        ck0 = snapshot("scan")
+
+    ck1 = None
+    while events:
+        if guard:
+            _, code = events[0]  # peek: heap root is the next pop
+            t = code - ntasks if code >= ntasks else code
+            if t >= suffix_start or (code < ntasks and t in frontier):
+                ck1 = snapshot("loop")
+                guard = False
+        now, code = pop(events)
+        if code >= ntasks:
+            try_start(code - ntasks, now)
+            continue
+        t = code
+        nd = node[t]
+        nxt = -1
+        if data_reuse:
+            best = -1
+            for i in range(sp[t], sp[t + 1]):
+                s = si[i]
+                if (
+                    state[s] == 1
+                    and node[s] == nd
+                    and data_ready[s] <= now
+                    and (best < 0 or s < best)
+                ):
+                    best = s
+            nxt = best
+        if nxt < 0:
+            heap = ready[nd]
+            while heap:
+                cand = pop(heap)
+                if state[cand] == 1:
+                    nxt = cand
+                    break
+        if nxt >= 0:
+            dr = data_ready[nxt]
+            launch(nxt, dr if dr > now else now)
+        else:
+            free_cores[nd] += 1
+        for i in range(sp[t], sp[t + 1]):
+            s = si[i]
+            slot = slot_of[i]
+            if slot < 0:
+                arrival = now
+            else:
+                arrival = slot_arrival[slot]
+                if arrival < 0:
+                    dest = node[s]
+                    if hierarchical and site[nd] != site[dest]:
+                        lat, bwt = lat_inter, bwt_inter
+                    else:
+                        lat, bwt = lat_intra, bwt_intra
+                    if serialized:
+                        depart = now
+                        if chan_free[nd] > depart:
+                            depart = chan_free[nd]
+                        if chan_free[dest] > depart:
+                            depart = chan_free[dest]
+                        chan_free[nd] = depart + bwt
+                        chan_free[dest] = depart + bwt
+                        arrival = depart + lat + bwt
+                    else:
+                        arrival = now + lat + bwt
+                    slot_arrival[slot] = arrival
+                    messages += 1
+            if arrival > data_ready[s]:
+                data_ready[s] = arrival
+            waiting[s] -= 1
+            if waiting[s] == 0:
+                avail = data_ready[s]
+                if avail <= now:
+                    try_start(s, now)
+                else:
+                    push(events, (avail, ntasks + s))
+
+    if any(w > 0 for w in waiting):  # pragma: no cover - cycle guard
+        raise RuntimeError("simulation stalled with unfinished tasks")
+    return (finish_time, busy, messages), ck0, ck1
+
+
+# --------------------------------------------------------------------- #
+# sweep planning
+# --------------------------------------------------------------------- #
+@dataclass
+class IncrementalStats:
+    """Fire/bail accounting of one incremental sweep."""
+
+    points: int = 0
+    fired: int = 0  # points simulated by resuming a checkpoint
+    guarded: int = 0  # donor points run with checkpoint capture
+    bails: dict = field(default_factory=dict)
+
+    def bail(self, reason: str) -> None:
+        self.bails[reason] = self.bails.get(reason, 0) + 1
+
+    def to_dict(self) -> dict:
+        return {
+            "points": self.points,
+            "fired": self.fired,
+            "guarded": self.guarded,
+            "bails": dict(sorted(self.bails.items())),
+        }
+
+
+def _wrap(result, m: int, n: int, machine: Machine, b: int) -> SimulationResult:
+    makespan, busy, messages = result
+    tile_bytes = machine.tile_bytes(b)
+    return SimulationResult(
+        makespan=makespan,
+        flops=qr_flops(m * b, n * b),
+        messages=messages,
+        bytes_sent=messages * tile_bytes,
+        busy_seconds=busy,
+        cores=machine.cores,
+        trace=None,
+    )
+
+
+def run_sweep_incremental(
+    points,
+    setup=None,
+    *,
+    layout=None,
+    min_prefix_frac: float = MIN_PREFIX_FRAC,
+    stats: IncrementalStats | None = None,
+) -> list[SimulationResult]:
+    """Serial sweep reusing DAG prefixes and event-heap state.
+
+    Consecutive point pairs that share an elimination-list prefix run as
+    a guarded donor + a resumed follower; everything else goes through
+    the ordinary cached :func:`repro.bench.runner.run_config` path.
+    Results are bit-identical to the per-point sweep in any case.  Pass
+    an :class:`IncrementalStats` to observe what fired.
+    """
+    from repro.bench.runner import BenchSetup, run_config
+    from repro.dag.cache import default_cache, fingerprint
+    from repro.dag.compiled import (
+        _finish,
+        build_arrays_checkpointed,
+        build_arrays_resumed,
+    )
+    from repro.hqr.hierarchy import hqr_elimination_list
+    from repro.runtime.compiled import core_mode
+
+    # an explicit reference-core request means "run the reference engine",
+    # so nothing compiled may be reused across points
+    incremental_ok = core_mode() != "reference"
+    setup = setup or BenchSetup()
+    lay = layout if layout is not None else setup.layout
+    machine, b = setup.machine, setup.b
+    stats = stats if stats is not None else IncrementalStats()
+    stats.points += len(points)
+    cache = default_cache()
+    rec = _obs_active()
+
+    results: list[SimulationResult] = []
+    i = 0
+    while i < len(points):
+        m1, n1, cfg1 = points[i]
+        plan = None
+        if (
+            incremental_ok
+            and i + 1 < len(points)
+            and not (rec is not None and rec.want_tasks)
+        ):
+            m2, n2, cfg2 = points[i + 1]
+            if n1 != n2:
+                stats.bail("n-differs")
+            else:
+                try:
+                    key1 = fingerprint(m1, n1, cfg1, lay, machine, b)
+                    key2 = fingerprint(m2, n2, cfg2, lay, machine, b)
+                except TypeError:
+                    key1 = key2 = None
+                if (
+                    key1 is not None
+                    and cache.contains(key1)
+                    and cache.contains(key2)
+                ):
+                    # both graphs already built: nothing left to reuse
+                    stats.bail("cached")
+                else:
+                    elims1 = hqr_elimination_list(m1, n1, cfg1)
+                    elims2 = hqr_elimination_list(m2, n2, cfg2)
+                    cut = common_prefix_len(elims1, elims2)
+                    if cut < 1 or cut < min_prefix_frac * min(
+                        len(elims1), len(elims2)
+                    ):
+                        stats.bail("short-prefix")
+                    else:
+                        plan = (elims1, elims2, cut, key1, key2, m2, n2, cfg2)
+        if plan is None:
+            results.append(run_config(m1, n1, cfg1, setup=setup, layout=lay))
+            i += 1
+            continue
+
+        elims1, elims2, cut, key1, key2, m2, n2, cfg2 = plan
+        with stage("incremental"):
+            arr1, snap = build_arrays_checkpointed(elims1, m1, n1, cut)
+            cg1 = _finish(m1, n1, *arr1, lay, machine, b)
+            frontier = {w for w in snap.last_writer if w >= 0}
+            res1, ck0, ck1 = simulate_guarded(
+                cg1, machine, b,
+                suffix_start=snap.ntasks, frontier=frontier,
+            )
+            arr2 = build_arrays_resumed(snap, arr1, elims2, m2, n2)
+            cg2 = _finish(m2, n2, *arr2, lay, machine, b)
+            # ck1 is only valid when a fresh run's initial scan would not
+            # have launched any suffix task at t=0
+            suffix_waiting = cg2.pred_counts[snap.ntasks:]
+            ck = ck1
+            if ck is None or (len(suffix_waiting) and not suffix_waiting.all()):
+                ck = ck0
+            res2 = resume_simulation(cg2, machine, b, ck)
+        results.append(_wrap(res1, m1, n1, machine, b))
+        results.append(_wrap(res2, m2, n2, machine, b))
+        if key1 is not None:
+            cache.put(key1, cg1)
+            cache.put(key2, cg2)
+        stats.guarded += 1
+        stats.fired += 1
+        if rec is not None:
+            rec.note(
+                "incremental_fire",
+                prefix_elims=cut,
+                total_elims=len(elims2),
+                prefix_tasks=snap.ntasks,
+                checkpoint=ck.phase,
+            )
+        i += 2
+    return results

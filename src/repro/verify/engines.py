@@ -67,15 +67,30 @@ def reference_engine(case, graph) -> SimulationResult:
 def _compiled_engine(core: str) -> Engine:
     def engine(case, graph) -> SimulationResult:
         from repro.dag.compiled import compile_graph
-        from repro.runtime.compiled import simulate_compiled
+        from repro.runtime.compiled import (
+            simulate_compiled,
+            simulate_compiled_batch,
+        )
 
         sim = _simulator(case, graph)
         cg = compile_graph(graph, sim.layout, sim.machine, case.b)
+        prio = sim.priority_values(graph)
+        if getattr(case, "batched", False):
+            # batched dispatch of a batch of one: must agree bitwise with
+            # every scalar engine
+            return simulate_compiled_batch(
+                [cg],
+                sim.machine,
+                case.b,
+                prios=[prio],
+                data_reuse=case.data_reuse,
+                core=core,
+            )[0]
         return simulate_compiled(
             cg,
             sim.machine,
             case.b,
-            prio=sim.priority_values(graph),
+            prio=prio,
             data_reuse=case.data_reuse,
             core=core,
         )

@@ -59,6 +59,8 @@ class VerifyCase:
     bandwidth: float
     priority: str | None
     data_reuse: bool
+    # defaulted so replay files predating the field still load
+    batched: bool = False
 
     # ------------------------------------------------------------------ #
     def config(self) -> HQRConfig:
@@ -129,6 +131,7 @@ class VerifyCase:
             f"{f' sites of {self.site_size}' if self.site_size else ''}, "
             f"{'serialized' if self.comm_serialized else 'contention-free'} "
             f"comm, priority={prio}, data_reuse={self.data_reuse}"
+            f"{', batched dispatch' if self.batched else ''}"
         )
 
 
@@ -173,6 +176,9 @@ def sample_case(seed: int, index: int) -> VerifyCase:
         bandwidth=rng.choice(_BANDWIDTHS),
         priority=rng.choice(PRIORITY_CHOICES),
         data_reuse=rng.random() < 0.5,
+        # drawn LAST: every earlier field keeps its pre-batched value for
+        # a given (seed, index), so old failure reports stay replayable
+        batched=rng.random() < 0.4,
     )
     return case
 

@@ -1,0 +1,206 @@
+"""Batched dispatch: bitwise equivalence with the per-point paths."""
+
+import pytest
+
+from repro.bench.runner import BenchSetup, run_config_sweep
+from repro.dag.compiled import compiled_from_eliminations
+from repro.hqr.config import HQRConfig
+from repro.hqr.hierarchy import hqr_elimination_list
+from repro.runtime.compiled import (
+    sim_threads,
+    simulate_compiled,
+    simulate_compiled_batch,
+)
+from repro.runtime.machine import Machine
+
+
+def small_setup():
+    return BenchSetup(
+        b=40, grid_p=4, grid_q=2, machine=Machine(nodes=8, cores_per_node=4)
+    )
+
+
+@pytest.fixture
+def fresh_cache(tmp_path, monkeypatch):
+    """Isolated default graph cache (memory + tmp disk)."""
+    from repro.dag import cache as cache_mod
+
+    c = cache_mod.CompiledGraphCache(tmp_path / "graphs")
+    monkeypatch.setattr(cache_mod, "_default", c)
+    return c
+
+
+def _graphs(setup):
+    configs = [
+        (12, 4, HQRConfig(p=4, q=2, a=2, high_tree="greedy")),
+        (16, 4, HQRConfig(p=4, q=2, a=4, high_tree="flat", domino=False)),
+        (8, 3, HQRConfig(p=4, q=2, a=1)),
+        (6, 6, HQRConfig(p=4, q=2, a=2)),  # square: final-GEQRT path
+    ]
+    graphs = []
+    for m, n, cfg in configs:
+        elims = hqr_elimination_list(m, n, cfg)
+        graphs.append(
+            compiled_from_eliminations(
+                elims, m, n, setup.layout, setup.machine, setup.b
+            )
+        )
+    return graphs
+
+
+@pytest.mark.parametrize("core", ["python", "c"])
+@pytest.mark.parametrize("data_reuse", [False, True])
+def test_batch_matches_scalar(core, data_reuse):
+    from repro._ccore import native_available
+
+    if core == "c" and not native_available():
+        pytest.skip("no C toolchain")
+    setup = small_setup()
+    graphs = _graphs(setup)
+    batched = simulate_compiled_batch(
+        graphs, setup.machine, setup.b, data_reuse=data_reuse, core=core
+    )
+    for cg, got in zip(graphs, batched):
+        want = simulate_compiled(
+            cg, setup.machine, setup.b, data_reuse=data_reuse, core=core
+        )
+        assert got == want
+
+
+def test_batch_respects_priorities():
+    setup = small_setup()
+    graphs = _graphs(setup)
+    # reversed program order — any permutation must round-trip bitwise
+    prios = [list(range(cg.ntasks))[::-1] for cg in graphs]
+    batched = simulate_compiled_batch(
+        graphs, setup.machine, setup.b, prios=prios
+    )
+    for cg, prio, got in zip(graphs, prios, batched):
+        assert got == simulate_compiled(cg, setup.machine, setup.b, prio=prio)
+
+
+def test_batch_empty_and_length_checks():
+    setup = small_setup()
+    assert simulate_compiled_batch([], setup.machine, setup.b) == []
+    graphs = _graphs(setup)[:2]
+    with pytest.raises(ValueError):
+        simulate_compiled_batch(graphs, setup.machine, setup.b, prios=[None])
+
+
+def test_sim_threads_env(monkeypatch):
+    monkeypatch.delenv("REPRO_SIM_THREADS", raising=False)
+    assert sim_threads() == 0
+    monkeypatch.setenv("REPRO_SIM_THREADS", "3")
+    assert sim_threads() == 3
+    monkeypatch.setenv("REPRO_SIM_THREADS", "many")
+    with pytest.raises(ValueError):
+        sim_threads()
+
+
+def test_thread_count_does_not_change_results(monkeypatch):
+    """OpenMP fan-out over points must be bit-identical to serial C."""
+    setup = small_setup()
+    graphs = _graphs(setup)
+    base = simulate_compiled_batch(graphs, setup.machine, setup.b)
+    monkeypatch.setenv("REPRO_SIM_THREADS", "2")
+    assert simulate_compiled_batch(graphs, setup.machine, setup.b) == base
+    monkeypatch.setenv("REPRO_SIM_THREADS", "1")
+    assert simulate_compiled_batch(graphs, setup.machine, setup.b) == base
+
+
+def _points():
+    return [
+        (12, 4, HQRConfig(p=4, q=2, a=a, high_tree=high))
+        for a in (1, 2)
+        for high in ("flat", "greedy")
+    ]
+
+
+@pytest.mark.parametrize("core", ["auto", "python"])
+def test_sweep_batched_matches_legacy(core, fresh_cache, monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_CORE", core)
+    setup = small_setup()
+    points = _points()
+    legacy = run_config_sweep(points, setup, workers=1, batch=False)
+    for workers in (1, 2):
+        got = run_config_sweep(points, setup, workers=workers, batch=True)
+        assert got == legacy, f"core={core} workers={workers}"
+
+
+def test_sweep_batch_env_default(monkeypatch):
+    from repro.bench.runner import batch_default
+
+    monkeypatch.delenv("REPRO_BENCH_BATCH", raising=False)
+    assert batch_default() is True
+    monkeypatch.setenv("REPRO_BENCH_BATCH", "0")
+    assert batch_default() is False
+
+
+def test_bench_report_batched_section(fresh_cache, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "small")
+    from repro.bench.perf import bench_report, format_report
+
+    report = bench_report(
+        workers=1, setup=small_setup(), skip_reference=True, batch=True
+    )
+    assert "batch_mismatches" not in report
+    batched = report["batched"]
+    assert batched["wall_s"] == report["sweep_batched_wall_s"] > 0
+    assert batched["n_points"] == report["n_points"]
+    assert isinstance(batched["openmp"], bool)
+    assert "batched sweep" in format_report(report)
+
+
+def test_format_batch_mismatches():
+    from repro.bench.perf import format_mismatches
+
+    report = {
+        "n_points": 2,
+        "batch_mismatches": [
+            {
+                "m": 12,
+                "n": 4,
+                "config": "HQR(...)",
+                "per_point_makespan": 1.0,
+                "batched_makespan": 2.0,
+            }
+        ],
+    }
+    text = format_mismatches(report)
+    assert "BATCH MISMATCH" in text
+
+
+def test_verify_case_batched_roundtrip():
+    """Batched dispatch is part of the verification space: the field is
+    drawn last (replay streams stable) and survives dict round-trips —
+    including dicts predating the field."""
+    from repro.verify.generator import VerifyCase, generate_cases
+
+    cases = list(generate_cases(seed=0, budget=64))
+    assert any(c.batched for c in cases)
+    assert any(not c.batched for c in cases)
+    c = cases[0]
+    assert VerifyCase.from_dict(c.to_dict()) == c
+    legacy = {k: v for k, v in c.to_dict().items() if k != "batched"}
+    assert VerifyCase.from_dict(legacy).batched is False
+
+
+def test_verify_batched_engines_agree():
+    from repro.dag.graph import TaskGraph
+    from repro.verify.engines import result_key, run_engines
+    from repro.verify.generator import sample_case
+
+    found = 0
+    for index in range(32):
+        case = sample_case(seed=7, index=index)
+        if not case.batched:
+            continue
+        found += 1
+        elims = hqr_elimination_list(case.m, case.n, case.config())
+        graph = TaskGraph.from_eliminations(elims, case.m, case.n)
+        results = run_engines(case, graph)
+        keys = {result_key(r) for r in results.values()}
+        assert len(keys) == 1, f"engines diverged on {case.describe()}"
+        if found >= 3:
+            break
+    assert found > 0

@@ -1,0 +1,256 @@
+"""Incremental re-simulation: prefix reuse must be invisible in results.
+
+The partial-prefix workhorse pair here is ``high_tree="greedy"`` vs
+``high_tree="flat"`` (``domino=False``, ``a=4``) on 16x4 tiles: the
+panel-major elimination lists share the first 12 of 54 eliminations (the
+first panel's intra-node kills) and diverge once the inter-node tree
+starts, so the pair exercises a genuine checkpoint/resume with a
+non-trivial suffix rather than a degenerate full- or zero-overlap case.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import BenchSetup, run_config
+from repro.dag.compiled import (
+    build_arrays_checkpointed,
+    build_arrays_resumed,
+    compiled_from_eliminations,
+    _finish,
+)
+from repro.hqr.config import HQRConfig
+from repro.hqr.hierarchy import hqr_elimination_list
+from repro.runtime.compiled import simulate_compiled
+from repro.runtime.incremental import (
+    IncrementalStats,
+    common_prefix_len,
+    resume_simulation,
+    run_sweep_incremental,
+    simulate_guarded,
+)
+from repro.runtime.machine import Machine
+
+
+def small_setup():
+    return BenchSetup(
+        b=40, grid_p=4, grid_q=2, machine=Machine(nodes=8, cores_per_node=4)
+    )
+
+
+@pytest.fixture
+def fresh_cache(tmp_path, monkeypatch):
+    from repro.dag import cache as cache_mod
+
+    c = cache_mod.CompiledGraphCache(tmp_path / "graphs")
+    monkeypatch.setattr(cache_mod, "_default", c)
+    return c
+
+
+GREEDY = HQRConfig(
+    p=4, q=2, a=4, low_tree="greedy", high_tree="greedy", domino=False
+)
+FLAT = HQRConfig(
+    p=4, q=2, a=4, low_tree="greedy", high_tree="flat", domino=False
+)
+
+
+def _pair(setup, m=16, n=4):
+    e1 = hqr_elimination_list(m, n, GREEDY)
+    e2 = hqr_elimination_list(m, n, FLAT)
+    cut = common_prefix_len(e1, e2)
+    assert 0 < cut < min(len(e1), len(e2)), "pair must share a partial prefix"
+    return e1, e2, cut
+
+
+def _build(elims, m, n, setup):
+    return compiled_from_eliminations(
+        elims, m, n, setup.layout, setup.machine, setup.b
+    )
+
+
+def _assert_graphs_equal(a, b):
+    assert (a.m, a.n, a.ntasks, a.nslots) == (b.m, b.n, b.ntasks, b.nslots)
+    for field in (
+        "kind", "row", "panel", "col", "killer",
+        "pred_ptr", "pred_idx", "succ_ptr", "succ_idx",
+        "node", "edge_slot", "dur_table",
+    ):
+        np.testing.assert_array_equal(getattr(a, field), getattr(b, field))
+
+
+def _frontier(snap):
+    """Task ids still holding a tile at the prefix boundary."""
+    return {w for w in snap.last_writer if w >= 0}
+
+
+def test_checkpointed_build_matches_scratch():
+    setup = small_setup()
+    e1, e2, cut = _pair(setup)
+    m, n = 16, 4
+    arr1, snap = build_arrays_checkpointed(e1, m, n, cut)
+    cg = _finish(m, n, *arr1, setup.layout, setup.machine, setup.b)
+    _assert_graphs_equal(cg, _build(e1, m, n, setup))
+    assert snap.nelims == cut
+
+    arr2 = build_arrays_resumed(snap, arr1, e2, m, n)
+    cg2 = _finish(m, n, *arr2, setup.layout, setup.machine, setup.b)
+    _assert_graphs_equal(cg2, _build(e2, m, n, setup))
+
+
+def test_resumed_build_across_m():
+    """A donor checkpoint can seed a *taller* matrix's build: the shared
+    prefix is shape-independent, only the tables resize."""
+    setup = small_setup()
+    e1 = hqr_elimination_list(16, 4, GREEDY)
+    e2 = hqr_elimination_list(24, 4, GREEDY)
+    cut = common_prefix_len(e1, e2)
+    if cut < 1:
+        pytest.skip("no shared prefix across heights for this tree")
+    arr1, snap = build_arrays_checkpointed(e1, 16, 4, cut)
+    arr2 = build_arrays_resumed(snap, arr1, e2, 24, 4)
+    cg = _finish(24, 4, *arr2, setup.layout, setup.machine, setup.b)
+    _assert_graphs_equal(cg, _build(e2, 24, 4, setup))
+
+
+@pytest.mark.parametrize("data_reuse", [False, True])
+def test_guarded_run_matches_plain(data_reuse):
+    setup = small_setup()
+    e1, _, cut = _pair(setup)
+    m, n = 16, 4
+    arr1, snap = build_arrays_checkpointed(e1, m, n, cut)
+    cg = _finish(m, n, *arr1, setup.layout, setup.machine, setup.b)
+    result, ck0, ck1 = simulate_guarded(
+        cg, setup.machine, setup.b,
+        suffix_start=snap.ntasks, frontier=_frontier(snap),
+        data_reuse=data_reuse,
+    )
+    want = simulate_compiled(
+        cg, setup.machine, setup.b, data_reuse=data_reuse, core="python"
+    )
+    assert result == (want.makespan, want.busy_seconds, want.messages)
+    assert ck0 is not None and ck0.suffix_start == snap.ntasks
+
+
+@pytest.mark.parametrize("which", ["ck0", "ck1"])
+def test_resume_matches_scratch(which):
+    setup = small_setup()
+    e1, e2, cut = _pair(setup)
+    m, n = 16, 4
+    arr1, snap = build_arrays_checkpointed(e1, m, n, cut)
+    cg1 = _finish(m, n, *arr1, setup.layout, setup.machine, setup.b)
+    _, ck0, ck1 = simulate_guarded(
+        cg1, setup.machine, setup.b,
+        suffix_start=snap.ntasks, frontier=_frontier(snap),
+    )
+    ck = {"ck0": ck0, "ck1": ck1}[which]
+    if ck is None:
+        pytest.skip(f"{which} not captured for this pair")
+
+    arr2 = build_arrays_resumed(snap, arr1, e2, m, n)
+    cg2 = _finish(m, n, *arr2, setup.layout, setup.machine, setup.b)
+    if which == "ck1":
+        # ck1 is legal only when no suffix task starts at t=0
+        suffix_waiting = cg2.pred_counts[snap.ntasks:]
+        if len(suffix_waiting) and not suffix_waiting.all():
+            pytest.skip("new suffix has zero-predecessor tasks; ck1 invalid")
+    got = resume_simulation(cg2, setup.machine, setup.b, ck)
+    want = simulate_compiled(cg2, setup.machine, setup.b, core="python")
+    assert got == (want.makespan, want.busy_seconds, want.messages)
+
+
+def test_empty_prefix_checkpoint_resumes_any_graph():
+    """With L=0 the frontier is empty and ck0 is the pristine initial
+    state — resuming it on a *completely different* config must equal a
+    scratch simulation (the degenerate soundness case)."""
+    setup = small_setup()
+    e1, _, _ = _pair(setup)
+    m, n = 16, 4
+    arr1, snap = build_arrays_checkpointed(e1, m, n, 0)
+    cg1 = _finish(m, n, *arr1, setup.layout, setup.machine, setup.b)
+    _, ck0, _ = simulate_guarded(
+        cg1, setup.machine, setup.b, suffix_start=0, frontier=set()
+    )
+    other = hqr_elimination_list(12, 3, HQRConfig(p=4, q=2, a=2))
+    arr2 = build_arrays_resumed(snap, arr1, other, 12, 3)
+    cg2 = _finish(12, 3, *arr2, setup.layout, setup.machine, setup.b)
+    got = resume_simulation(cg2, setup.machine, setup.b, ck0)
+    want = simulate_compiled(cg2, setup.machine, setup.b, core="python")
+    assert got == (want.makespan, want.busy_seconds, want.messages)
+
+
+def _sweep_points():
+    return [
+        (16, 4, GREEDY),
+        (16, 4, FLAT),          # fires against the previous point
+        (16, 3, GREEDY),        # n differs -> bail
+        (12, 4, HQRConfig(p=4, q=2, a=1, low_tree="binary")),
+        (12, 4, HQRConfig(p=4, q=2, a=1, low_tree="fibonacci")),
+    ]
+
+
+def test_sweep_incremental_matches_per_point(fresh_cache, monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_CORE", "python")
+    setup = small_setup()
+    points = _sweep_points()
+    want = [run_config(m, n, cfg, setup) for m, n, cfg in points]
+
+    from repro.dag import cache as cache_mod
+
+    fresh = cache_mod.CompiledGraphCache(
+        fresh_cache.root.parent / "graphs-incr"
+    )
+    monkeypatch.setattr(cache_mod, "_default", fresh)
+    stats = IncrementalStats()
+    got = run_sweep_incremental(
+        points, setup, min_prefix_frac=0.2, stats=stats
+    )
+    assert got == want
+    assert stats.points == len(points)
+    assert stats.fired >= 1
+    assert stats.guarded >= 1
+    assert "n-differs" in stats.bails
+
+
+def test_sweep_incremental_bails_on_warm_cache(fresh_cache, monkeypatch):
+    """Once both graphs of a pair are cached, rebuilding incrementally
+    would be pure overhead — the planner must bail to plain cache hits."""
+    monkeypatch.setenv("REPRO_SIM_CORE", "python")
+    setup = small_setup()
+    points = _sweep_points()
+    first = run_sweep_incremental(points, setup, min_prefix_frac=0.2)
+    stats = IncrementalStats()
+    second = run_sweep_incremental(
+        points, setup, min_prefix_frac=0.2, stats=stats
+    )
+    assert second == first
+    assert stats.fired == 0
+    assert stats.bails.get("cached", 0) >= 1
+
+
+def test_sweep_incremental_short_prefix_bail(fresh_cache, monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_CORE", "python")
+    setup = small_setup()
+    points = [(16, 4, GREEDY), (16, 4, FLAT)]
+    stats = IncrementalStats()
+    got = run_sweep_incremental(
+        points, setup, min_prefix_frac=0.9, stats=stats
+    )
+    want = [run_config(m, n, cfg, setup) for m, n, cfg in points]
+    assert got == want
+    assert stats.fired == 0
+    assert stats.bails.get("short-prefix", 0) >= 1
+
+
+def test_sweep_incremental_respects_reference_core(fresh_cache, monkeypatch):
+    """REPRO_SIM_CORE=reference demands the reference engine per point —
+    incremental reuse (a compiled-core shortcut) must stand down."""
+    monkeypatch.setenv("REPRO_SIM_CORE", "reference")
+    setup = small_setup()
+    points = [(8, 3, GREEDY), (8, 3, FLAT)]
+    stats = IncrementalStats()
+    got = run_sweep_incremental(
+        points, setup, min_prefix_frac=0.0, stats=stats
+    )
+    want = [run_config(m, n, cfg, setup) for m, n, cfg in points]
+    assert got == want
+    assert stats.fired == 0
