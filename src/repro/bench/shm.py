@@ -116,11 +116,24 @@ class GraphArena:
         if self._disposed:
             return
         self._disposed = True
+        # the serial fallback attaches to our own segment: evict that
+        # cached mapping too, or the parent leaks one mapping per sweep
+        cached = _attached.pop(self._handle.name, None)
+        if cached is not None:
+            shm = cached[0]
+            cached = None  # drop the graph views before closing
+            try:
+                shm.close()
+            except BufferError:
+                # a view escaped to the caller: keep the object alive (so
+                # __del__ does not raise the same error) and retry at exit
+                _zombies.append(shm)
         self._shm.close()
         try:
             self._shm.unlink()
         except FileNotFoundError:  # pragma: no cover - already gone
             pass
+        _owned.discard(self._handle.name)
 
     def __enter__(self) -> "GraphArena":
         return self
@@ -134,6 +147,10 @@ class GraphArena:
 # ------------------------------------------------------------------ #
 _attached: dict[str, tuple] = {}
 _owned: set[str] = set()  # segments created by *this* process
+#: mappings whose close() hit a BufferError (a view escaped): kept alive
+#: so SharedMemory.__del__ stays quiet, retried once more at exit
+_zombies: list = []
+_atexit_armed = False
 
 
 def _untrack(shm) -> None:
@@ -185,28 +202,27 @@ def attach(handle: ArenaHandle) -> list[CompiledGraph]:
             )
         cached = (shm, graphs)
         _attached[handle.name] = cached
-        if len(_attached) == 1:
+        global _atexit_armed
+        if not _atexit_armed:
+            _atexit_armed = True
             atexit.register(_detach_all)
     return cached[1]
 
 
 def _detach_all() -> None:  # pragma: no cover - interpreter teardown
-    for shm, graphs in _attached.values():
-        del graphs
+    import gc
+
+    shms = [cached[0] for cached in _attached.values()] + _zombies
+    # the cache holds the only internal references to the graph views;
+    # dropping them (and collecting any cycles) releases the buffer
+    # exports so close() can unmap
+    _attached.clear()
+    _zombies.clear()
+    gc.collect()
+    for shm in shms:
         try:
             shm.close()
         except BufferError:
-            # a numpy view outlived us: disarm the finalizer so __del__
-            # does not raise the same error again, drop the fd, and let
-            # process teardown release the mapping itself
-            try:
-                import os as _os
-
-                shm._buf = None
-                shm._mmap = None
-                if shm._fd >= 0:
-                    _os.close(shm._fd)
-                    shm._fd = -1
-            except Exception:
-                pass
-    _attached.clear()
+            # a numpy view escaped into user code: park the mapping for
+            # process teardown rather than poking SharedMemory internals
+            _zombies.append(shm)

@@ -155,6 +155,9 @@ def _mmap_load(path: Path, key: str) -> CompiledGraph | None:
         fh = open(path, "rb")
     except OSError:
         return None
+    mm = None
+    arrays: dict = {}
+    handed_off = False
     try:
         try:
             mm = _mmaplib.mmap(fh.fileno(), 0, access=_mmaplib.ACCESS_READ)
@@ -180,7 +183,6 @@ def _mmap_load(path: Path, key: str) -> CompiledGraph | None:
                 or int(scalar("cache_version")) != CACHE_VERSION
             ):
                 return None
-            arrays = {}
             for field in _ARRAY_FIELDS:
                 info = members[field]
                 # the central directory's offset points at the local
@@ -207,15 +209,25 @@ def _mmap_load(path: Path, key: str) -> CompiledGraph | None:
                 arrays[field] = np.frombuffer(
                     mm, dtype=dtype, count=count, offset=fh.tell()
                 ).reshape(shape)
-            return CompiledGraph(
+            cg = CompiledGraph(
                 m=int(scalar("m")),
                 n=int(scalar("n")),
                 nslots=int(scalar("nslots")),
                 **arrays,
             )
+            handed_off = True
+            return cg
     except (OSError, KeyError, ValueError, BadZipFile):
         return None
     finally:
+        if mm is not None and not handed_off:
+            # bail-out: drop any views already taken so the mapping can
+            # be released now instead of at garbage collection
+            arrays.clear()
+            try:
+                mm.close()
+            except BufferError:  # pragma: no cover - view escaped
+                pass
         fh.close()  # the mapping (held by the arrays) survives the fd
 
 

@@ -22,7 +22,12 @@ graphs.  The guarded run therefore captures two checkpoints:
   which a fresh run would have launched at time 0);
 * ``ck1`` — in the event loop, just before the first pop of a frontier
   task's *finish* (or any suffix event): every event processed before it
-  touches only non-frontier prefix state shared by both graphs.
+  touches only non-frontier prefix state shared by both graphs.  ``ck1``
+  is withheld (``None``) when the donor's own suffix contains a
+  zero-predecessor task — the initial scan launches it at t=0, so by the
+  capture point the busy time, core occupancy, and pending finish events
+  already belong to the donor's suffix; resuming that state onto another
+  graph would replay a finish for a task the follower never started.
 
 Cross-graph state is stored graph-independently: message slots are keyed
 by ``(producer task, destination node)`` pairs (slot ids are renumbered
@@ -162,7 +167,9 @@ def simulate_guarded(
     Bit-identical to ``simulate_compiled(..., prio=None, core="python")``
     — the checkpoint captures are pure state copies taken between events.
     Returns ``((makespan, busy, messages), ck0, ck1)``; ``ck1`` is None
-    when the heap drains before any frontier finish (empty frontier).
+    when the heap drains before any frontier finish (empty frontier) or
+    when this graph's suffix contains a zero-predecessor task (its t=0
+    launch contaminates the loop state, see module docstring).
     """
     out = _run_cluster(
         cg, machine, b, data_reuse,
@@ -315,10 +322,17 @@ def _run_cluster(
         )
 
     ck0 = None
+    suffix_seeded = False
     for t in range(scan_from, ntasks):
         if guard and t == suffix_start:
             ck0 = snapshot("scan")
         if waiting[t] == 0:
+            if guard and t >= suffix_start:
+                # a zero-predecessor *suffix* task enters the schedule at
+                # t=0: everything from here on (busy time, core occupancy,
+                # its finish event) belongs to this graph's suffix, so no
+                # loop-phase checkpoint can be resumed onto another graph
+                suffix_seeded = True
             try_start(t, 0.0)
     if guard and ck0 is None:  # suffix_start == ntasks
         ck0 = snapshot("scan")
@@ -329,7 +343,8 @@ def _run_cluster(
             _, code = events[0]  # peek: heap root is the next pop
             t = code - ntasks if code >= ntasks else code
             if t >= suffix_start or (code < ntasks and t in frontier):
-                ck1 = snapshot("loop")
+                if not suffix_seeded:
+                    ck1 = snapshot("loop")
                 guard = False
         now, code = pop(events)
         if code >= ntasks:
@@ -530,8 +545,9 @@ def run_sweep_incremental(
             )
             arr2 = build_arrays_resumed(snap, arr1, elims2, m2, n2)
             cg2 = _finish(m2, n2, *arr2, lay, machine, b)
-            # ck1 is only valid when a fresh run's initial scan would not
-            # have launched any suffix task at t=0
+            # ck1 is only valid when neither suffix launches tasks at t=0:
+            # simulate_guarded already returned None for a seeded *donor*
+            # suffix; the *follower* suffix is checked here
             suffix_waiting = cg2.pred_counts[snap.ntasks:]
             ck = ck1
             if ck is None or (len(suffix_waiting) and not suffix_waiting.all()):

@@ -86,6 +86,24 @@ def test_arena_dispose_removes_segment():
     assert _shm_names() - before == set()
 
 
+def test_dispose_evicts_parent_attach_cache():
+    """The serial fallback attaches the parent to its own segment;
+    dispose must evict (and close) that cached mapping or the parent
+    accumulates one mapping per sweep for the process lifetime."""
+    from repro.bench import shm as shm_mod
+
+    setup = small_setup()
+    arena = GraphArena.publish(_graphs(setup, count=1))
+    name = arena.handle.name
+    zombies_before = len(shm_mod._zombies)
+    graphs = attach(arena.handle)
+    assert name in shm_mod._attached
+    del graphs  # release the views so the eviction can unmap cleanly
+    arena.dispose()
+    assert name not in shm_mod._attached
+    assert len(shm_mod._zombies) == zombies_before
+
+
 # module-level so it pickles into pool workers
 _PARENT_PID_ENV = "REPRO_TEST_SHM_PARENT"
 

@@ -13,10 +13,12 @@ import pytest
 
 from repro.bench.runner import BenchSetup, run_config
 from repro.dag.compiled import (
+    CompiledGraph,
     build_arrays_checkpointed,
     build_arrays_resumed,
     compiled_from_eliminations,
     _finish,
+    _succ_csr,
 )
 from repro.hqr.config import HQRConfig
 from repro.hqr.hierarchy import hqr_elimination_list
@@ -155,6 +157,62 @@ def test_resume_matches_scratch(which):
             pytest.skip("new suffix has zero-predecessor tasks; ck1 invalid")
     got = resume_simulation(cg2, setup.machine, setup.b, ck)
     want = simulate_compiled(cg2, setup.machine, setup.b, core="python")
+    assert got == (want.makespan, want.busy_seconds, want.messages)
+
+
+def _tiny_graph(pred_lists):
+    """Hand-built single-node graph; task ``t`` runs for ``(10, 5, 1)[t]``
+    seconds (kind codes double as indices into the duration table)."""
+    nt = len(pred_lists)
+    pred_ptr = np.zeros(nt + 1, dtype=np.int64)
+    for t, preds in enumerate(pred_lists):
+        pred_ptr[t + 1] = pred_ptr[t] + len(preds)
+    pred_idx = np.array(
+        [p for preds in pred_lists for p in preds], dtype=np.int32
+    )
+    succ_ptr, succ_idx = _succ_csr(pred_ptr, pred_idx, nt)
+    zeros = np.zeros(nt, dtype=np.int32)
+    return CompiledGraph(
+        m=nt, n=1,
+        kind=np.arange(nt, dtype=np.int8),
+        row=zeros, panel=zeros,
+        col=np.full(nt, -1, dtype=np.int32),
+        killer=np.full(nt, -1, dtype=np.int32),
+        pred_ptr=pred_ptr, pred_idx=pred_idx,
+        succ_ptr=succ_ptr, succ_idx=succ_idx,
+        node=zeros,
+        edge_slot=np.full(len(succ_idx), -1, dtype=np.int32),
+        nslots=0,
+        dur_table=np.array([10.0, 5.0, 1.0, 0.0, 0.0, 0.0]),
+    )
+
+
+@pytest.mark.parametrize("cores", [1, 2])
+def test_donor_suffix_zero_pred_invalidates_ck1(cores):
+    """Regression: a zero-predecessor task in the *donor's* suffix starts
+    during the guarded run's initial ready scan, so any loop-phase
+    checkpoint carries its pending finish event plus contaminated
+    busy/core state.  ``simulate_guarded`` must withhold ck1 — the
+    follower-side ``pred_counts`` check in the sweep planner cannot see
+    this — and resuming the surviving ck0 must match a scratch run."""
+    machine = Machine(nodes=1, cores_per_node=cores)
+    b = 8
+    # prefix: 0 -> 1; donor suffix task 2 has no predecessors, the
+    # follower's suffix task 2 instead depends on frontier task 1
+    donor = _tiny_graph([[], [0], []])
+    follower = _tiny_graph([[], [0], [1]])
+    res1, ck0, ck1 = simulate_guarded(
+        donor, machine, b, suffix_start=2, frontier={1}
+    )
+    want1 = simulate_compiled(donor, machine, b, core="python")
+    assert res1 == (want1.makespan, want1.busy_seconds, want1.messages)
+    assert ck1 is None, "loop checkpoint must be withheld for seeded suffix"
+    # the follower's suffix is all-pred, so the planner's follower-only
+    # check would have accepted a (contaminated) ck1 — the donor-side
+    # guard above is what protects this pair
+    assert follower.pred_counts[2:].all()
+    got = resume_simulation(follower, machine, b, ck0)
+    want = simulate_compiled(follower, machine, b, core="python")
     assert got == (want.makespan, want.busy_seconds, want.messages)
 
 
