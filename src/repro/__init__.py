@@ -30,7 +30,18 @@ from repro.hqr.hierarchy import HQRTree, hqr_elimination_list
 from repro.runtime.machine import Machine
 from repro.tiles.matrix import TiledMatrix
 
-__version__ = "1.0.0"
+def _dist_version() -> str:
+    """Version from package metadata, so deployed builds report what was
+    actually installed; the literal is the source-tree fallback."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        return "1.0.0"
+
+
+__version__ = _dist_version()
 
 __all__ = [
     "qr",

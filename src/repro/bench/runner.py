@@ -68,6 +68,14 @@ class BenchSetup:
     grid_q: int = 4
     machine: Machine = field(default_factory=Machine.edel)
 
+    def __post_init__(self) -> None:
+        ranks = self.grid_p * self.grid_q
+        if ranks > self.machine.nodes:
+            raise ValueError(
+                f"process grid {self.grid_p}x{self.grid_q} needs {ranks} nodes "
+                f"but the machine has only {self.machine.nodes}"
+            )
+
     @property
     def layout(self) -> Layout:
         """2-D block-cyclic layout over the process grid."""

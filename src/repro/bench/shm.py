@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.dag.compiled import CompiledGraph
 
-__all__ = ["ArenaHandle", "GraphArena", "attach"]
+__all__ = ["ArenaHandle", "GraphArena", "attach", "dispose_owned", "owned_segments"]
 
 #: CompiledGraph array fields shipped through the arena, in layout order
 _ARRAY_FIELDS = (
@@ -63,6 +63,7 @@ class GraphArena:
         self._shm = shm
         self._handle = handle
         self._disposed = False
+        _live[handle.name] = self
 
     @classmethod
     def publish(cls, graphs) -> "GraphArena":
@@ -116,6 +117,7 @@ class GraphArena:
         if self._disposed:
             return
         self._disposed = True
+        _live.pop(self._handle.name, None)
         # the serial fallback attaches to our own segment: evict that
         # cached mapping too, or the parent leaks one mapping per sweep
         cached = _attached.pop(self._handle.name, None)
@@ -147,6 +149,27 @@ class GraphArena:
 # ------------------------------------------------------------------ #
 _attached: dict[str, tuple] = {}
 _owned: set[str] = set()  # segments created by *this* process
+#: undisposed arenas owned by this process, for shutdown sweeps
+_live: dict[str, "GraphArena"] = {}
+
+
+def owned_segments() -> tuple[str, ...]:
+    """Names of shared segments this process created and has not freed."""
+    return tuple(sorted(_owned))
+
+
+def dispose_owned() -> int:
+    """Dispose every arena this process still owns; returns the count.
+
+    The graceful-shutdown path of the serving daemon (and any other
+    long-lived host) calls this so a SIGTERM mid-sweep cannot leak
+    ``/dev/shm`` segments — a normally completed sweep already disposed
+    its arena, making this a no-op.
+    """
+    arenas = list(_live.values())
+    for arena in arenas:
+        arena.dispose()
+    return len(arenas)
 #: mappings whose close() hit a BufferError (a view escaped): kept alive
 #: so SharedMemory.__del__ stays quiet, retried once more at exit
 _zombies: list = []

@@ -16,6 +16,7 @@ replay     validate + summarize an elimination-list JSON file
 metrics    instrumented run: per-kernel/level/link metrics (JSON/Prometheus)
 profile    self-profile the harness (stage timers + cProfile)
 obs        observability reports (HTML) and bench-regression gates
+serve      persistent planning daemon / SLO-gated serving benchmark
 """
 
 from __future__ import annotations
@@ -348,6 +349,67 @@ def cmd_replay(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import os
+
+    if args.bench:
+        from repro.serve.bench import (
+            format_serve_report,
+            serve_bench,
+            write_serve_report,
+        )
+
+        saved = os.environ.get("REPRO_BENCH_SCALE")
+        if args.scale:
+            os.environ["REPRO_BENCH_SCALE"] = args.scale
+        try:
+            report = serve_bench(
+                seed=args.seed,
+                capacity=args.capacity,
+                util=args.util,
+                skip_live=args.skip_live,
+            )
+        finally:
+            if args.scale:
+                if saved is None:
+                    os.environ.pop("REPRO_BENCH_SCALE", None)
+                else:
+                    os.environ["REPRO_BENCH_SCALE"] = saved
+        print(format_serve_report(report))
+        if args.json:
+            write_serve_report(report, args.json)
+            print(f"wrote {args.json}")
+        if not report["ok"]:
+            print("SERVING BENCHMARK FAILED: see report above", file=sys.stderr)
+            return 1
+        return 0
+
+    from repro.serve.scheduler import parse_tenants
+    from repro.serve.server import DEFAULT_TENANTS, PlanningDaemon
+
+    tenants = parse_tenants(args.tenants) if args.tenants else DEFAULT_TENANTS
+    daemon = PlanningDaemon(
+        tenants=tenants,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_inflight_cost=args.max_inflight_cost,
+    )
+    daemon.start()
+    daemon.install_signal_handlers()
+    names = ", ".join(t.name for t in tenants)
+    print(f"repro serve on http://{args.host}:{daemon.port}  "
+          f"(tenants: {names}; {args.workers} workers)")
+    print("endpoints: POST /plan   GET /healthz /metrics /stats")
+    try:
+        daemon.serve_until(args.duration)
+    finally:
+        drain = daemon.shutdown()
+        print(f"drained={drain['drained']} "
+              f"disposed_segments={drain['disposed_segments']}")
+    return 0
+
+
 def cmd_auto(args) -> int:
     from repro.hqr.auto import auto_config, auto_config_tuned
 
@@ -537,8 +599,24 @@ def _add_obs_run_args(p: argparse.ArgumentParser) -> None:
     _add_config_args(p)
 
 
+def _package_version() -> str:
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        from repro import __version__
+
+        return __version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {_package_version()}",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("factor", help="factor a random matrix numerically")
@@ -772,6 +850,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", help="write the gate verdict here")
     p.set_defaults(fn=cmd_obs_gate)
+
+    p = sub.add_parser(
+        "serve",
+        help="persistent planning daemon / SLO-gated serving benchmark",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port", type=int, default=8539, help="TCP port (0 = ephemeral)"
+    )
+    p.add_argument(
+        "--workers", type=int, default=2, help="planning worker threads"
+    )
+    p.add_argument(
+        "--tenants",
+        help="tenant spec 'name:weight:queue_limit,...' "
+        "(default: interactive:4:8,batch:1:16,explore:2:8)",
+    )
+    p.add_argument(
+        "--max-inflight-cost",
+        type=float,
+        help="global in-flight cost budget for admission control",
+    )
+    p.add_argument(
+        "--duration",
+        type=float,
+        help="serve for this many seconds then drain (default: forever)",
+    )
+    p.add_argument(
+        "--bench",
+        action="store_true",
+        help="run the SLO-gated serving benchmark instead of a daemon",
+    )
+    p.add_argument("--seed", type=int, default=0, help="bench stream seed")
+    p.add_argument(
+        "--capacity", type=int, default=2, help="bench model servers"
+    )
+    p.add_argument(
+        "--util",
+        type=float,
+        default=0.7,
+        help="bench steady-state target utilization",
+    )
+    p.add_argument(
+        "--scale",
+        choices=("small", "default", "full"),
+        help="override REPRO_BENCH_SCALE for this run",
+    )
+    p.add_argument(
+        "--skip-live",
+        action="store_true",
+        help="bench: skip the live-daemon HTTP phase",
+    )
+    p.add_argument("--json", help="write BENCH_serve.json here")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("auto", help="pick a configuration automatically")
     p.add_argument("--m", type=int, default=128)

@@ -22,6 +22,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Callable
@@ -255,8 +256,17 @@ class CompiledGraphCache:
 
     ``get``/``put`` take the fingerprint key; ``get_or_build`` wraps the
     usual lookup-else-build-else-store dance.  Disk persistence is atomic
-    (tmp file + ``os.replace``) and failure-tolerant: any I/O or format
-    problem silently degrades to a rebuild.
+    (tmp file + ``os.replace``, so a concurrent reader sees either the
+    old entry or the complete new one, never a torn write) and
+    failure-tolerant: any I/O or format problem silently degrades to a
+    rebuild.
+
+    Safe for concurrent readers and writers: the memory LRU is guarded
+    by an ``RLock`` (the parallel daemon workers of :mod:`repro.serve`
+    share one process-wide instance), and ``get_or_build`` single-flights
+    concurrent builds of the same key so a thundering herd on a cold
+    entry builds the graph once instead of once per thread.  Operation
+    counters (:meth:`stats`) feed the serving cache-hit-ratio SLO.
     """
 
     def __init__(self, root: Path | None = None, memory_slots: int | None = None):
@@ -265,14 +275,25 @@ class CompiledGraphCache:
             memory_slots = _default_memory_slots()
         self.memory_slots = memory_slots
         self._memory: OrderedDict[str, CompiledGraph] = OrderedDict()
+        self._lock = threading.RLock()
+        self._building: dict[str, threading.Lock] = {}
+        self._stats = {
+            "hit_memory": 0,
+            "hit_disk": 0,
+            "miss": 0,
+            "store": 0,
+            "evict": 0,
+        }
 
     # -- memory ------------------------------------------------------- #
     def _remember(self, key: str, cg: CompiledGraph) -> None:
-        mem = self._memory
-        mem[key] = cg
-        mem.move_to_end(key)
-        while len(mem) > self.memory_slots:
-            mem.popitem(last=False)
+        with self._lock:
+            mem = self._memory
+            mem[key] = cg
+            mem.move_to_end(key)
+            while len(mem) > self.memory_slots:
+                mem.popitem(last=False)
+                self._stats["evict"] += 1
 
     # -- disk --------------------------------------------------------- #
     def _path(self, key: str) -> Path:
@@ -327,22 +348,35 @@ class CompiledGraphCache:
             pass  # read-only cache dir etc. — memory cache still works
 
     # -- public ------------------------------------------------------- #
-    def get(self, key: str) -> CompiledGraph | None:
+    def _lookup(self, key: str, count: bool = True) -> CompiledGraph | None:
         rec = _obs_active()
-        cg = self._memory.get(key)
+        with self._lock:
+            cg = self._memory.get(key)
+            if cg is not None:
+                self._memory.move_to_end(key)
+                if count:
+                    self._stats["hit_memory"] += 1
         if cg is not None:
-            self._memory.move_to_end(key)
-            if rec is not None:
+            if count and rec is not None:
                 rec.cache_event("hit-memory", key[:16])
             return cg
         cg = self._load_disk(key)
         if cg is not None:
             self._remember(key, cg)
+            if count:
+                with self._lock:
+                    self._stats["hit_disk"] += 1
+                if rec is not None:
+                    rec.cache_event("hit-disk", key[:16])
+        elif count:
+            with self._lock:
+                self._stats["miss"] += 1
             if rec is not None:
-                rec.cache_event("hit-disk", key[:16])
-        elif rec is not None:
-            rec.cache_event("miss", key[:16])
+                rec.cache_event("miss", key[:16])
         return cg
+
+    def get(self, key: str) -> CompiledGraph | None:
+        return self._lookup(key)
 
     def contains(self, key: str) -> bool:
         """Cheap presence probe: memory hit or a disk entry on file.
@@ -352,11 +386,16 @@ class CompiledGraphCache:
         incremental planner) only need existence; a stale entry is
         caught by the eventual :meth:`get`, which rebuilds.
         """
-        return key in self._memory or self._path(key).exists()
+        with self._lock:
+            if key in self._memory:
+                return True
+        return self._path(key).exists()
 
     def put(self, key: str, cg: CompiledGraph) -> None:
         self._remember(key, cg)
         self._store_disk(key, cg)
+        with self._lock:
+            self._stats["store"] += 1
         rec = _obs_active()
         if rec is not None:
             rec.cache_event("store", key[:16])
@@ -365,13 +404,31 @@ class CompiledGraphCache:
         self, key: str, builder: Callable[[], CompiledGraph]
     ) -> CompiledGraph:
         cg = self.get(key)
-        if cg is None:
-            cg = builder()
-            self.put(key, cg)
+        if cg is not None:
+            return cg
+        with self._lock:
+            gate = self._building.setdefault(key, threading.Lock())
+        with gate:
+            # losers of the race find the winner's entry here — probed
+            # without counting, so one logical miss stays one miss
+            cg = self._lookup(key, count=False)
+            if cg is None:
+                cg = builder()
+                self.put(key, cg)
+        with self._lock:
+            self._building.pop(key, None)
         return cg
 
+    def stats(self) -> dict[str, int]:
+        """Operation counters since construction (hit_memory, hit_disk,
+        miss, store, evict) — the measured source of the daemon's
+        cache-hit-ratio SLO."""
+        with self._lock:
+            return dict(self._stats)
+
     def clear_memory(self) -> None:
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
 
 
 _default: CompiledGraphCache | None = None

@@ -27,6 +27,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "cache_metrics_into",
     "derive_run_metrics",
     "utilization_timeline",
 ]
@@ -195,6 +196,30 @@ class MetricsRegistry:
 
     def dumps(self) -> str:
         return json.dumps(self.to_json(), indent=2, sort_keys=True)
+
+
+def cache_metrics_into(reg: MetricsRegistry, stats: dict[str, int]) -> None:
+    """Export compiled-graph cache operation counters into ``reg``.
+
+    ``stats`` is :meth:`repro.dag.cache.CompiledGraphCache.stats` —
+    process-wide hit/miss/store/evict counts, measured at the cache
+    itself rather than inferred from recorder log lines.  Also derives
+    ``repro_graph_cache_hit_ratio`` (hits over lookups) when any lookup
+    happened; the serving layer gates its cache SLO on that gauge.
+    """
+    ops = reg.counter(
+        "repro_graph_cache_ops_total",
+        "compiled-graph cache operations (process-wide counters)",
+    )
+    for event, count in sorted(stats.items()):
+        ops.inc(count, event=event)
+    hits = stats.get("hit_memory", 0) + stats.get("hit_disk", 0)
+    lookups = hits + stats.get("miss", 0)
+    if lookups:
+        reg.gauge(
+            "repro_graph_cache_hit_ratio",
+            "cache hits over lookups since process start",
+        ).set(hits / lookups)
 
 
 # --------------------------------------------------------------------- #

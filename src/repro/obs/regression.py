@@ -40,6 +40,7 @@ GATED_METRICS = (
     "micro.reference_s",
     "sweep_wall_s",
     "sweep_batched_wall_s",
+    "serve_wall_s",
 )
 
 

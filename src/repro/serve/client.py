@@ -1,0 +1,164 @@
+"""Stdlib JSON client for the planning daemon, plus a stream driver.
+
+:class:`ServeClient` wraps ``http.client`` (one connection per request,
+so it is trivially thread-safe and survives daemon restarts);
+:func:`drive` replays an arrival trace against a live daemon and
+tallies the outcomes — the CI ``serve-smoke`` job and the live section
+of ``repro serve --bench`` are built on it.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from dataclasses import dataclass
+
+from repro.serve.arrivals import Arrival
+
+__all__ = ["PlanResponse", "ServeClient", "drive"]
+
+
+@dataclass(frozen=True)
+class PlanResponse:
+    """Outcome of one ``POST /plan``."""
+
+    status: int
+    body: dict
+    retry_after: float | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200
+
+    @property
+    def shed(self) -> bool:
+        return self.status in (429, 503)
+
+
+class ServeClient:
+    """Minimal client for the ``repro serve`` HTTP API."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8539, *,
+        timeout: float = 60.0,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    def _request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, dict[str, str], bytes]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode()
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            resp = conn.getresponse()
+            data = resp.read()
+            return resp.status, dict(resp.getheaders()), data
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------ #
+    def plan(self, tenant: str, request: dict) -> PlanResponse:
+        """Submit one planning request for ``tenant``."""
+        payload = dict(request)
+        payload["tenant"] = tenant
+        status, headers, data = self._request("POST", "/plan", payload)
+        try:
+            body = json.loads(data) if data else {}
+        except json.JSONDecodeError:
+            body = {"raw": data.decode(errors="replace")}
+        retry = headers.get("Retry-After")
+        return PlanResponse(
+            status=status,
+            body=body if isinstance(body, dict) else {"raw": body},
+            retry_after=float(retry) if retry else None,
+        )
+
+    def health(self) -> dict:
+        status, _, data = self._request("GET", "/healthz")
+        if status != 200:
+            raise RuntimeError(f"healthz returned {status}")
+        return json.loads(data)
+
+    def stats(self) -> dict:
+        status, _, data = self._request("GET", "/stats")
+        if status != 200:
+            raise RuntimeError(f"stats returned {status}")
+        return json.loads(data)
+
+    def metrics(self) -> str:
+        """Scrape the Prometheus text exposition."""
+        status, _, data = self._request("GET", "/metrics")
+        if status != 200:
+            raise RuntimeError(f"metrics returned {status}")
+        return data.decode()
+
+    def wait_ready(self, *, attempts: int = 50, delay: float = 0.1) -> dict:
+        """Poll ``/healthz`` until the daemon answers (fresh boots)."""
+        last: Exception | None = None
+        for _ in range(attempts):
+            try:
+                return self.health()
+            except (OSError, RuntimeError) as exc:
+                last = exc
+                time.sleep(delay)
+        raise RuntimeError(f"daemon never became ready: {last}")
+
+
+def drive(
+    client: ServeClient,
+    arrivals: list[Arrival],
+    *,
+    time_scale: float = 0.0,
+    honor_retry_after: bool = False,
+) -> dict:
+    """Replay ``arrivals`` against a live daemon, closed-loop.
+
+    ``time_scale`` compresses the trace's virtual inter-arrival gaps
+    into real sleeps (0 = send back-to-back).  With
+    ``honor_retry_after`` a shed response is retried once after the
+    daemon's hint — the polite-client behavior documented in
+    ``docs/serving.md``.  Returns outcome tallies.
+    """
+    sent = ok = shed = errors = retried_ok = 0
+    last_t = arrivals[0].time if arrivals else 0.0
+    for ev in arrivals:
+        if time_scale > 0 and ev.time > last_t:
+            time.sleep((ev.time - last_t) * time_scale)
+        last_t = ev.time
+        resp = client.plan(ev.tenant, ev.request)
+        sent += 1
+        if resp.ok:
+            ok += 1
+        elif resp.shed:
+            shed += 1
+            if honor_retry_after and resp.retry_after is not None:
+                time.sleep(min(resp.retry_after, 2.0))
+                again = client.plan(ev.tenant, ev.request)
+                sent += 1
+                if again.ok:
+                    ok += 1
+                    retried_ok += 1
+                elif again.shed:
+                    shed += 1
+                else:
+                    errors += 1
+        else:
+            errors += 1
+    return {
+        "sent": sent,
+        "ok": ok,
+        "shed": shed,
+        "errors": errors,
+        "retried_ok": retried_ok,
+    }

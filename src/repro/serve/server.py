@@ -1,0 +1,389 @@
+"""``repro serve`` — the persistent HQR planning daemon.
+
+Stdlib-only: a :class:`ThreadingHTTPServer` front end over the same
+:class:`~repro.serve.scheduler.FairScheduler` +
+:class:`~repro.serve.service.PlannerService` pair the deterministic
+stream runner uses.  HTTP handler threads *offer* jobs (admission
+control answers 429 + ``Retry-After`` when a tenant's queue is full or
+the in-flight cost budget is exhausted) and block on a per-job event;
+a fixed pool of worker threads dequeues weighted-fairly and plans.
+
+Endpoints
+---------
+``POST /plan``     JSON planning request (see ``docs/serving.md``)
+``GET  /metrics``  Prometheus text exposition (SLOs, queues, cache)
+``GET  /stats``    JSON SLO summary + scheduler snapshot
+``GET  /healthz``  liveness + version
+
+Graceful shutdown (SIGINT/SIGTERM or :meth:`PlanningDaemon.shutdown`):
+stop admitting (503), drain queued and in-flight jobs, flush the obs
+recorder, dispose any shared-memory graph arenas, then stop — so a
+killed daemon leaves no ``/dev/shm`` leak and no half-answered client.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro import __version__
+from repro.serve.scheduler import FairScheduler, Job, TenantSpec
+from repro.serve.service import PlannerService, PlanRequest
+from repro.serve.slo import SLOTracker
+
+__all__ = ["DEFAULT_TENANTS", "PlanningDaemon"]
+
+#: default tenancy: latency-sensitive, throughput, and exploratory
+DEFAULT_TENANTS = (
+    TenantSpec("interactive", weight=4.0, queue_limit=8),
+    TenantSpec("batch", weight=1.0, queue_limit=16),
+    TenantSpec("explore", weight=2.0, queue_limit=8),
+)
+
+#: request body size cap (bytes)
+MAX_BODY = 64 * 1024
+
+
+@dataclass
+class _Pending:
+    """Handler-side slot a worker fills in."""
+
+    req: PlanRequest
+    event: threading.Event = field(default_factory=threading.Event)
+    result: object = None
+    error: Exception | None = None
+
+
+class PlanningDaemon:
+    """Long-lived planning service over a local TCP port."""
+
+    def __init__(
+        self,
+        service: PlannerService | None = None,
+        tenants: tuple[TenantSpec, ...] = DEFAULT_TENANTS,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        max_inflight_cost: float | None = None,
+        request_timeout: float = 60.0,
+        default_cost: float = 1.0,
+    ):
+        self.service = service or PlannerService()
+        self.slo = SLOTracker()
+        self.scheduler = FairScheduler(
+            tenants, capacity=workers, max_inflight_cost=max_inflight_cost
+        )
+        self.host = host
+        self.requested_port = port
+        self.workers = workers
+        self.request_timeout = request_timeout
+        self.default_cost = default_cost
+        self._cond = threading.Condition()
+        self._draining = False
+        self._stopping = False
+        self._job_seq = 0
+        self._httpd: ThreadingHTTPServer | None = None
+        self._threads: list[threading.Thread] = []
+        self._started_at = 0.0
+        self._stop_signal = threading.Event()
+
+    # -- lifecycle ----------------------------------------------------- #
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise RuntimeError("daemon not started")
+        return self._httpd.server_address[1]
+
+    def start(self) -> None:
+        if self._httpd is not None:
+            raise RuntimeError("daemon already started")
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self.requested_port), handler
+        )
+        self._httpd.daemon_threads = True
+        self._started_at = time.monotonic()
+        t = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        t.start()
+        self._threads.append(t)
+        for i in range(self.workers):
+            w = threading.Thread(
+                target=self._worker, name=f"repro-serve-worker-{i}",
+                daemon=True,
+            )
+            w.start()
+            self._threads.append(w)
+
+    def install_signal_handlers(self) -> None:
+        """SIGINT/SIGTERM trigger a graceful drain (main thread only)."""
+        def _handler(signum, frame):
+            self._stop_signal.set()
+
+        signal.signal(signal.SIGINT, _handler)
+        signal.signal(signal.SIGTERM, _handler)
+
+    def serve_until(self, duration: float | None = None) -> None:
+        """Block until a signal arrives (or ``duration`` elapses), then
+        shut down gracefully."""
+        self._stop_signal.wait(timeout=duration)
+        self.shutdown()
+
+    def shutdown(self, *, drain_timeout: float = 30.0) -> dict:
+        """Drain and stop; idempotent.  Returns a drain report.
+
+        Order matters: stop admitting first (new offers get 503), let
+        the workers empty the queues and finish in-flight plans, then
+        stop the workers and the HTTP listener, flush the observability
+        recorder, and dispose any shared-memory segments this process
+        still owns.
+        """
+        with self._cond:
+            already = self._stopping and self._draining
+            self._draining = True
+            self._cond.notify_all()
+        if already:
+            return {"drained": True, "disposed_segments": 0}
+        deadline = time.monotonic() + drain_timeout
+        drained = True
+        with self._cond:
+            while self.scheduler.backlog() > 0 or self.scheduler.inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    drained = False
+                    break
+                self._cond.wait(timeout=min(0.2, remaining))
+            self._stopping = True
+            self._cond.notify_all()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+        for t in self._threads:
+            t.join(timeout=5.0)
+        # flush observability + shared memory before the process exits
+        from repro.bench.shm import dispose_owned
+        from repro.obs.events import active as _obs_active
+
+        rec = _obs_active()
+        if rec is not None:
+            rec.note(
+                "serve_shutdown",
+                drained=drained,
+                **{k: int(v) for k, v in self.service.counters().items()
+                   if k != "plan_wall_s"},
+            )
+        disposed = dispose_owned()
+        return {"drained": drained, "disposed_segments": disposed}
+
+    # -- scheduling ---------------------------------------------------- #
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                while not self._stopping and self.scheduler.backlog() == 0:
+                    self._cond.wait(timeout=0.2)
+                if self._stopping and self.scheduler.backlog() == 0:
+                    return
+                job = self.scheduler.next_job(time.monotonic())
+            if job is None:
+                continue
+            pending: _Pending = job.request
+            cache_hit = None
+            degraded = False
+            try:
+                pending.result = self.service.plan(pending.req)
+                cache_hit = pending.result.cache_hit
+                degraded = pending.result.degradation > 1.0
+            except Exception as exc:  # surface to the handler, keep serving
+                pending.error = exc
+            with self._cond:
+                self.scheduler.finish(job)
+                self._cond.notify_all()
+            latency = time.monotonic() - job.arrival
+            self.slo.record(
+                job.tenant,
+                latency=latency,
+                outcome="error" if pending.error is not None else "served",
+                cache_hit=cache_hit,
+                degraded=degraded,
+            )
+            pending.event.set()
+
+    def submit(self, tenant: str, payload: dict) -> tuple[int, dict, dict]:
+        """Admission + synchronous wait; returns (status, body, headers)."""
+        try:
+            req = PlanRequest.from_json(payload)
+        except ValueError as exc:
+            return 400, {"error": str(exc)}, {}
+        pending = _Pending(req=req)
+        now = time.monotonic()
+        with self._cond:
+            if self._draining:
+                return (
+                    503,
+                    {"error": "draining", "retry_after": 1.0},
+                    {"Retry-After": "1"},
+                )
+            self._job_seq += 1
+            job = Job(
+                job_id=self._job_seq,
+                tenant=tenant,
+                request=pending,
+                cost=req.cost if req.cost is not None else self.default_cost,
+                arrival=now,
+            )
+            try:
+                adm = self.scheduler.offer(job, now)
+            except KeyError:
+                return 400, {"error": f"unknown tenant {tenant!r}"}, {}
+            if not adm.admitted:
+                self.slo.record(tenant, latency=0.0, outcome="shed")
+                return (
+                    429,
+                    {
+                        "error": "shed",
+                        "reason": adm.reason,
+                        "retry_after": adm.retry_after,
+                    },
+                    {"Retry-After": f"{adm.retry_after:.3f}"},
+                )
+            self._cond.notify()
+        if not pending.event.wait(timeout=self.request_timeout):
+            return 504, {"error": "timed out waiting for a worker"}, {}
+        if pending.error is not None:
+            return 500, {"error": str(pending.error)}, {}
+        return 200, pending.result.to_json(), {}
+
+    # -- introspection ------------------------------------------------- #
+    def uptime(self) -> float:
+        return max(1e-9, time.monotonic() - self._started_at)
+
+    def metrics_registry(self):
+        """Fresh registry with SLO, scheduler, cache and build metrics."""
+        from repro.dag.cache import default_cache
+        from repro.obs.metrics import MetricsRegistry, cache_metrics_into
+
+        reg = MetricsRegistry()
+        self.slo.into_registry(reg, duration=self.uptime())
+        with self._cond:
+            snap = self.scheduler.snapshot()
+        depth = reg.gauge(
+            "repro_serve_queue_depth", "queued jobs by tenant"
+        )
+        admitted = reg.counter(
+            "repro_serve_admitted_total", "admitted jobs by tenant"
+        )
+        for name, st in snap["tenants"].items():
+            depth.set(st["queued"], tenant=name)
+            admitted.inc(st["admitted"], tenant=name)
+        reg.gauge("repro_serve_inflight", "jobs being planned now").set(
+            snap["inflight"]
+        )
+        svc = self.service.counters()
+        reg.counter("repro_serve_plans_total", "planner invocations").inc(
+            svc["plans"]
+        )
+        if svc["failures"]:
+            reg.counter(
+                "repro_serve_plan_failures_total", "planner exceptions"
+            ).inc(svc["failures"])
+        cache_metrics_into(reg, default_cache().stats())
+        reg.gauge("repro_serve_uptime_seconds", "daemon uptime").set(
+            self.uptime()
+        )
+        reg.gauge(
+            "repro_serve_info", "build info (value is always 1)"
+        ).set(1, version=__version__)
+        return reg
+
+    def stats(self) -> dict:
+        with self._cond:
+            snap = self.scheduler.snapshot()
+        out = {
+            "version": __version__,
+            "uptime_s": self.uptime(),
+            "scheduler": snap,
+            "service": self.service.counters(),
+            "slo": self.slo.summary(self.uptime()),
+        }
+        ratio = self.slo.cache_hit_ratio()
+        if ratio is not None:
+            out["cache_hit_ratio"] = ratio
+        return out
+
+
+# --------------------------------------------------------------------- #
+# HTTP plumbing
+# --------------------------------------------------------------------- #
+def _make_handler(daemon: PlanningDaemon):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = f"repro-serve/{__version__}"
+
+        def log_message(self, fmt, *args):  # pragma: no cover - quiet
+            pass
+
+        def _reply(
+            self, status: int, body: dict | str, headers: dict | None = None,
+            content_type: str = "application/json",
+        ) -> None:
+            data = (
+                body.encode()
+                if isinstance(body, str)
+                else (json.dumps(body, sort_keys=True) + "\n").encode()
+            )
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(data)))
+            for k, v in (headers or {}).items():
+                self.send_header(k, v)
+            self.end_headers()
+            self.wfile.write(data)
+
+        def do_GET(self) -> None:
+            if self.path == "/healthz":
+                self._reply(200, {"ok": True, "version": __version__})
+            elif self.path == "/metrics":
+                text = daemon.metrics_registry().to_prometheus()
+                self._reply(
+                    200, text, content_type="text/plain; version=0.0.4"
+                )
+            elif self.path == "/stats":
+                self._reply(200, daemon.stats())
+            else:
+                self._reply(404, {"error": f"no such path {self.path}"})
+
+        def do_POST(self) -> None:
+            if self.path != "/plan":
+                self._reply(404, {"error": f"no such path {self.path}"})
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+            except ValueError:
+                length = -1
+            if not 0 < length <= MAX_BODY:
+                self._reply(
+                    413 if length > MAX_BODY else 400,
+                    {"error": "body must be 1 byte to 64 KiB of JSON"},
+                )
+                return
+            try:
+                payload = json.loads(self.rfile.read(length))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                self._reply(400, {"error": "body is not valid JSON"})
+                return
+            if not isinstance(payload, dict):
+                self._reply(400, {"error": "body must be a JSON object"})
+                return
+            tenant = str(payload.pop("tenant", "")) or "interactive"
+            status, body, headers = daemon.submit(tenant, payload)
+            self._reply(status, body, headers)
+
+    return Handler

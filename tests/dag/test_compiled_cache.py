@@ -218,3 +218,106 @@ def test_run_config_uses_cache(tmp_path, monkeypatch):
     assert first.makespan == second.makespan
     assert first.messages == second.messages
     monkeypatch.setattr(cache_mod, "_default", None)
+
+
+def test_stats_count_hits_misses_stores_evictions(tmp_path):
+    cache = CompiledGraphCache(root=tmp_path, memory_slots=2)
+    cg = build_graph()
+    assert cache.get("nope") is None
+    cache.put("k0", cg)
+    assert cache.get("k0") is cg
+    fresh = CompiledGraphCache(root=tmp_path, memory_slots=2)
+    assert fresh.get("k0") is not None  # disk hit
+    for i in range(1, 4):
+        cache.put(f"k{i}", cg)  # overflows the 2-slot memory ring
+    stats = cache.stats()
+    assert stats["miss"] == 1
+    assert stats["hit_memory"] == 1
+    assert stats["store"] == 4
+    assert stats["evict"] == 2
+    assert fresh.stats()["hit_disk"] == 1
+
+
+def test_get_or_build_single_flight_under_threads(tmp_path):
+    """Concurrent get_or_build on one key builds exactly once, and the
+    logical miss is counted once."""
+    import threading
+
+    cache = CompiledGraphCache(root=tmp_path)
+    key = base_key()
+    calls = []
+    gate = threading.Barrier(8)
+    results = []
+    lock = threading.Lock()
+
+    def builder():
+        calls.append(1)
+        return build_graph()
+
+    def worker():
+        gate.wait()
+        cg = cache.get_or_build(key, builder)
+        with lock:
+            results.append(cg)
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(calls) == 1
+    # losers may race the memory/disk probe and load an equal copy from
+    # disk; single-flight guarantees one *build*, not object identity
+    assert all(
+        (cg.m, cg.n, cg.nslots) == (results[0].m, results[0].n,
+                                    results[0].nslots)
+        for cg in results
+    )
+    assert cache.stats()["store"] == 1
+
+
+def test_concurrent_mixed_traffic_stays_consistent(tmp_path):
+    """Hammer one cache instance from many threads (distinct keys,
+    repeated gets, evictions): no exceptions, counters balance."""
+    import threading
+
+    cache = CompiledGraphCache(root=tmp_path, memory_slots=4)
+    cg = build_graph()
+    errors = []
+
+    def worker(wid):
+        try:
+            for i in range(25):
+                key = f"w{wid % 3}-{i % 6}"
+                got = cache.get_or_build(key, lambda: cg)
+                assert got is not None
+                cache.get(key)
+                cache.contains(key)
+        except Exception as exc:  # pragma: no cover - failure detail
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(w,)) for w in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    stats = cache.stats()
+    lookups = stats["hit_memory"] + stats["hit_disk"] + stats["miss"]
+    assert lookups > 0 and stats["store"] >= 1
+    assert len(cache._memory) <= 4
+
+
+def test_cache_metrics_exported_through_registry(tmp_path):
+    from repro.obs.metrics import MetricsRegistry, cache_metrics_into
+
+    cache = CompiledGraphCache(root=tmp_path)
+    cache.get("missing")
+    cache.put("k", build_graph())
+    cache.get("k")
+    reg = MetricsRegistry()
+    cache_metrics_into(reg, cache.stats())
+    text = reg.to_prometheus()
+    assert 'repro_graph_cache_ops_total{event="miss"} 1' in text
+    assert 'repro_graph_cache_ops_total{event="hit_memory"} 1' in text
+    assert "repro_graph_cache_hit_ratio 0.5" in text

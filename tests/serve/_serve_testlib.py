@@ -1,0 +1,27 @@
+"""Shared serving-test helpers: a deliberately tiny cluster model so
+planning is milliseconds, not paper scale."""
+
+from repro.bench.runner import BenchSetup
+from repro.runtime.machine import Machine
+from repro.serve.scheduler import TenantSpec
+
+#: small pinned request every suite can reuse (p*q=2 fits the 4-node
+#: test machine)
+TINY_REQUEST = {
+    "m": 8,
+    "n": 2,
+    "config": {"p": 2, "q": 1, "a": 2, "low": "greedy",
+               "high": "fibonacci", "domino": True},
+}
+
+TENANTS = (
+    TenantSpec("gold", weight=3.0, queue_limit=4),
+    TenantSpec("bronze", weight=1.0, queue_limit=4),
+)
+
+
+def tiny_setup() -> BenchSetup:
+    return BenchSetup(
+        b=40, grid_p=2, grid_q=1,
+        machine=Machine(nodes=4, cores_per_node=2),
+    )

@@ -1,0 +1,11 @@
+"""Shared fixtures for the serving suites."""
+
+import pytest
+
+from _serve_testlib import tiny_setup
+from repro.serve.service import PlannerService
+
+
+@pytest.fixture
+def service() -> PlannerService:
+    return PlannerService(tiny_setup())

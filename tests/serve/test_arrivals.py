@@ -1,0 +1,80 @@
+"""Seeded arrival generators: determinism, shape, replay round-trip."""
+
+import pytest
+
+from repro.serve.arrivals import (
+    bursty_arrivals,
+    poisson_arrivals,
+    replay_arrivals,
+    save_arrivals,
+)
+
+RATES = {"a": 2.0, "b": 0.5}
+
+
+class TestPoisson:
+    def test_same_seed_same_trace(self):
+        one = poisson_arrivals(RATES, 50.0, seed=7)
+        two = poisson_arrivals(RATES, 50.0, seed=7)
+        assert one == two
+
+    def test_different_seeds_differ(self):
+        assert poisson_arrivals(RATES, 50.0, seed=1) != poisson_arrivals(
+            RATES, 50.0, seed=2
+        )
+
+    def test_sorted_and_bounded(self):
+        events = poisson_arrivals(RATES, 50.0, seed=0)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert all(0 <= t < 50.0 for t in times)
+
+    def test_rate_scales_counts(self):
+        events = poisson_arrivals(RATES, 200.0, seed=0)
+        n_a = sum(1 for e in events if e.tenant == "a")
+        n_b = sum(1 for e in events if e.tenant == "b")
+        assert n_a > 2 * n_b  # 2.0 vs 0.5 jobs/s
+
+    def test_zero_rate_silent(self):
+        events = poisson_arrivals({"a": 0.0, "b": 1.0}, 20.0, seed=0)
+        assert all(e.tenant == "b" for e in events)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(RATES, 0.0)
+        with pytest.raises(ValueError):
+            poisson_arrivals({"a": -1.0}, 10.0)
+
+    def test_custom_request_factory(self):
+        events = poisson_arrivals(
+            {"a": 1.0}, 20.0, seed=0,
+            request_factory=lambda rng, t: {"m": 4, "n": 1, "who": t},
+        )
+        assert events and all(e.request["who"] == "a" for e in events)
+
+
+class TestBursty:
+    def test_same_seed_same_trace(self):
+        kw = dict(burst_every=10.0, burst_len=3.0)
+        assert bursty_arrivals(RATES, 60.0, seed=3, **kw) == bursty_arrivals(
+            RATES, 60.0, seed=3, **kw
+        )
+
+    def test_quieter_than_continuous(self):
+        cont = poisson_arrivals(RATES, 100.0, seed=0)
+        burst = bursty_arrivals(
+            RATES, 100.0, seed=0, burst_every=20.0, burst_len=5.0
+        )
+        assert 0 < len(burst) < len(cont)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bursty_arrivals(RATES, 10.0, burst_every=5.0, burst_len=6.0)
+
+
+class TestReplay:
+    def test_round_trip(self, tmp_path):
+        events = poisson_arrivals(RATES, 30.0, seed=11)
+        path = tmp_path / "trace.jsonl"
+        save_arrivals(events, path)
+        assert replay_arrivals(path) == events

@@ -1,0 +1,73 @@
+"""CLI surface: ``repro --version`` and the ``serve`` command."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert out.split()[1][0].isdigit()  # looks like a version number
+
+    def test_version_matches_package(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit):
+            main(["--version"])
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestServeBench:
+    def test_bench_small_writes_gateable_report(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "small")
+        out = tmp_path / "BENCH_serve.json"
+        rc = main(["serve", "--bench", "--skip-live", "--json", str(out)])
+        printed = capsys.readouterr().out
+        assert rc == 0
+        assert "PASS" in printed
+        report = json.loads(out.read_text())
+        assert report["ok"] is True
+        assert report["deterministic"] is True
+        assert report["serve_wall_s"] > 0
+        assert report["overload"]["shed"] > 0
+        assert report["chaos"]["degraded_jobs"] > 0
+        assert set(report["stream"]["per_tenant"]) == {
+            "interactive", "batch", "explore"
+        }
+        # the committed baseline gates on this field
+        assert "serve_wall_s" in report
+        from repro.obs.regression import GATED_METRICS
+
+        assert "serve_wall_s" in GATED_METRICS
+
+    def test_bench_report_self_gates(self, tmp_path, monkeypatch, capsys):
+        """A report must pass ``repro obs gate`` against itself."""
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "small")
+        out = tmp_path / "BENCH_serve.json"
+        assert main(
+            ["serve", "--bench", "--skip-live", "--json", str(out)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["obs", "gate", str(out), str(out)]) == 0
+
+
+class TestServeDaemonCLI:
+    def test_duration_bounded_daemon(self, capsys):
+        rc = main(
+            ["serve", "--port", "0", "--duration", "0.3",
+             "--tenants", "solo:1:4"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "repro serve on http://127.0.0.1:" in out
+        assert "solo" in out
+        assert "drained=True" in out

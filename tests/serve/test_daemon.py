@@ -1,0 +1,130 @@
+"""Live daemon over HTTP: plan round-trips, metrics scrape, admission
+control, graceful drain."""
+
+import threading
+
+import pytest
+
+from _serve_testlib import TENANTS, TINY_REQUEST, tiny_setup
+from repro.serve.client import ServeClient, drive
+from repro.serve.server import PlanningDaemon
+from repro.serve.service import PlannerService
+
+
+@pytest.fixture
+def daemon():
+    d = PlanningDaemon(
+        PlannerService(tiny_setup()), TENANTS, port=0, workers=2
+    )
+    d.start()
+    yield d
+    d.shutdown()
+
+
+@pytest.fixture
+def client(daemon):
+    c = ServeClient(port=daemon.port, timeout=30.0)
+    c.wait_ready()
+    return c
+
+
+class TestHTTP:
+    def test_plan_round_trip(self, client):
+        resp = client.plan("gold", TINY_REQUEST)
+        assert resp.ok
+        assert resp.body["makespan_s"] > 0
+        assert resp.body["config"].startswith("HQR(")
+
+    def test_health_and_stats(self, client):
+        assert client.health()["ok"] is True
+        client.plan("gold", TINY_REQUEST)
+        stats = client.stats()
+        assert stats["slo"]["served"] >= 1
+        assert "gold" in stats["scheduler"]["tenants"]
+
+    def test_metrics_exposition(self, client):
+        client.plan("gold", TINY_REQUEST)
+        text = client.metrics()
+        assert "repro_serve_requests_total" in text
+        assert "repro_serve_plans_total" in text
+        assert "repro_graph_cache_ops_total" in text  # satellite: cache
+        assert "repro_serve_info" in text
+
+    def test_unknown_tenant_400(self, client):
+        resp = client.plan("nobody", TINY_REQUEST)
+        assert resp.status == 400
+
+    def test_invalid_request_400(self, client):
+        resp = client.plan("gold", {"m": 2, "n": 8})
+        assert resp.status == 400
+        assert "m >= n" in resp.body.get("error", "")
+
+    def test_unknown_path_404(self, client):
+        status, _, _ = client._request("GET", "/nope")
+        assert status == 404
+
+    def test_drive_tallies(self, client):
+        from repro.serve.arrivals import poisson_arrivals
+
+        arrivals = poisson_arrivals(
+            {"gold": 2.0}, 3.0, seed=0,
+            request_factory=lambda rng, t: dict(TINY_REQUEST),
+        )
+        tally = drive(client, arrivals)
+        assert tally["sent"] == len(arrivals)
+        assert tally["ok"] + tally["shed"] + tally["errors"] == tally["sent"]
+        assert tally["errors"] == 0
+
+
+class TestAdmissionOverHTTP:
+    def test_saturation_returns_429_with_retry_after(self):
+        """One worker, queue_limit=1: a concurrent burst must shed with
+        the Retry-After hint, and the daemon keeps answering."""
+        from repro.serve.scheduler import TenantSpec
+
+        d = PlanningDaemon(
+            PlannerService(tiny_setup()),
+            (TenantSpec("t", queue_limit=1),),
+            port=0,
+            workers=1,
+        )
+        d.start()
+        try:
+            c = ServeClient(port=d.port, timeout=30.0)
+            c.wait_ready()
+            results = []
+            lock = threading.Lock()
+
+            def fire():
+                r = c.plan("t", TINY_REQUEST)
+                with lock:
+                    results.append(r)
+
+            threads = [threading.Thread(target=fire) for _ in range(12)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(results) == 12
+            sheds = [r for r in results if r.status == 429]
+            assert sheds, "burst never saturated the 1-deep queue"
+            assert all(r.retry_after and r.retry_after > 0 for r in sheds)
+            assert any(r.ok for r in results)
+            assert c.health()["ok"] is True  # still answering
+        finally:
+            d.shutdown()
+
+
+class TestGracefulShutdown:
+    def test_drains_and_rejects_new_work(self, daemon, client):
+        assert client.plan("gold", TINY_REQUEST).ok
+        report = daemon.shutdown()
+        assert report["drained"] is True
+        # after drain: admission answers 503, not a wedge
+        status, body, headers = daemon.submit("gold", dict(TINY_REQUEST))
+        assert status == 503
+        assert "Retry-After" in headers
+
+    def test_shutdown_idempotent(self, daemon):
+        assert daemon.shutdown()["drained"] is True
+        assert daemon.shutdown()["drained"] is True

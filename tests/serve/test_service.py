@@ -1,0 +1,92 @@
+"""PlannerService: planning answers, cache behavior, fault degradation,
+request validation."""
+
+import pytest
+
+from repro.serve.service import PlanRequest, PlannerService
+
+from _serve_testlib import TINY_REQUEST, tiny_setup
+
+
+class TestPlanRequest:
+    def test_round_trip(self):
+        req = PlanRequest.from_json(dict(TINY_REQUEST))
+        assert PlanRequest.from_json(req.to_json()) == req
+
+    def test_auto_config(self):
+        req = PlanRequest.from_json({"m": 8, "n": 2})
+        assert req.config is None
+        assert req.to_json()["config"] == "auto"
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"n": 2},  # missing m
+            {"m": 2, "n": 8},  # m < n
+            {"m": 0, "n": 0},
+            {"m": 600, "n": 2},  # above the tile cap
+            {"m": 8, "n": 2, "config": {"p": 2, "zzz": 1}},
+            {"m": 8, "n": 2, "config": 42},
+            {"m": 8, "n": 2, "faults": {"seed": 1}},  # no scenario
+            "not an object",
+        ],
+    )
+    def test_rejects(self, payload):
+        with pytest.raises(ValueError):
+            PlanRequest.from_json(payload)
+
+    def test_fault_fields(self):
+        req = PlanRequest.from_json(
+            {**TINY_REQUEST, "faults": {"scenario": "crash", "seed": 3}}
+        )
+        assert req.fault_scenario == "crash" and req.fault_seed == 3
+
+
+class TestPlannerService:
+    def test_plan_answers(self, service):
+        res = service.plan(PlanRequest.from_json(dict(TINY_REQUEST)))
+        assert res.makespan > 0 and res.gflops > 0
+        assert res.degradation == 1.0 and not res.replanned
+        assert not res.auto
+
+    def test_deterministic(self, service):
+        req = PlanRequest.from_json(dict(TINY_REQUEST))
+        a, b = service.plan(req), service.plan(req)
+        assert (a.makespan, a.gflops, a.messages) == (
+            b.makespan, b.gflops, b.messages
+        )
+
+    def test_cache_hit_on_second_plan(self):
+        service = PlannerService(tiny_setup())
+        req = PlanRequest.from_json(
+            {**TINY_REQUEST, "m": 10}  # fresh point, not cached by others
+        )
+        assert service.plan(req).cache_hit in (False, True)  # maybe warm disk
+        assert service.plan(req).cache_hit is True
+
+    def test_auto_resolves(self, service):
+        res = service.plan(PlanRequest.from_json({"m": 8, "n": 2}))
+        assert res.auto and res.makespan > 0
+
+    def test_faults_degrade_not_fail(self, service):
+        req = PlanRequest.from_json(
+            {**TINY_REQUEST, "faults": {"scenario": "crash", "seed": 0}}
+        )
+        res = service.plan(req)
+        assert res.makespan > 0
+        assert res.degradation >= 1.0
+
+    def test_grid_beyond_machine_rejected(self, service):
+        req = PlanRequest.from_json(
+            {"m": 12, "n": 3,
+             "config": {"p": 12, "q": 1, "a": 1, "low": "greedy",
+                        "high": "fibonacci", "domino": True}}
+        )
+        with pytest.raises(ValueError):
+            service.plan(req)
+        assert service.counters()["failures"] >= 1
+
+    def test_counters_accumulate(self, service):
+        service.plan(PlanRequest.from_json(dict(TINY_REQUEST)))
+        c = service.counters()
+        assert c["plans"] == 1 and c["plan_wall_s"] > 0

@@ -1,0 +1,77 @@
+"""Regression: a SIGTERM'd daemon must not leak /dev/shm segments.
+
+A subprocess publishes a GraphArena (the shared-memory transport the
+batched sweep uses), boots a daemon with signal handlers installed, and
+prints the segment name; the parent SIGTERMs it and asserts the process
+exits cleanly and the segment is gone.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).parents[2] / "src")
+
+CHILD = r"""
+import sys
+
+from repro.bench.runner import BenchSetup
+from repro.bench.shm import GraphArena
+from repro.dag.compiled import compiled_from_eliminations
+from repro.hqr.config import HQRConfig
+from repro.hqr.hierarchy import hqr_elimination_list
+from repro.runtime.machine import Machine
+from repro.serve.server import PlanningDaemon
+from repro.serve.service import PlannerService
+
+setup = BenchSetup(
+    b=40, grid_p=2, grid_q=1, machine=Machine(nodes=4, cores_per_node=2)
+)
+cfg = HQRConfig(p=2, q=1, a=2, low_tree="greedy", high_tree="fibonacci")
+elims = hqr_elimination_list(8, 2, cfg)
+cg = compiled_from_eliminations(
+    elims, 8, 2, setup.layout, setup.machine, setup.b
+)
+arena = GraphArena.publish([cg])
+daemon = PlanningDaemon(PlannerService(setup), port=0, workers=1)
+daemon.start()
+daemon.install_signal_handlers()
+print(arena.handle.name, flush=True)
+daemon.serve_until()  # blocks until SIGTERM, then drains + disposes
+sys.exit(0)
+"""
+
+
+@pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="no POSIX shared memory"
+)
+def test_sigterm_drains_and_frees_shared_memory():
+    env = dict(os.environ, PYTHONPATH=SRC)
+    proc = subprocess.Popen(
+        [sys.executable, "-c", CHILD],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    try:
+        name = proc.stdout.readline().strip()
+        assert name, "child never published its arena"
+        assert os.path.exists(f"/dev/shm/{name}")
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    assert proc.returncode == 0, f"child failed: {err}"
+    deadline = time.monotonic() + 5.0
+    while os.path.exists(f"/dev/shm/{name}"):
+        if time.monotonic() > deadline:
+            pytest.fail(f"/dev/shm/{name} leaked after graceful shutdown")
+        time.sleep(0.05)

@@ -1,0 +1,72 @@
+"""SLO accounting: nearest-rank percentiles, summaries, metrics export."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.slo import SLOTracker, percentile
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [float(i) for i in range(1, 101)]
+        assert percentile(values, 50) == 50.0
+        assert percentile(values, 95) == 95.0
+        assert percentile(values, 99) == 99.0
+        assert percentile(values, 100) == 100.0
+
+    def test_small_samples(self):
+        assert percentile([3.0], 99) == 3.0
+        assert percentile([], 50) == 0.0
+        assert percentile([2.0, 1.0], 50) == 1.0  # sorts internally
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestSLOTracker:
+    def filled(self):
+        slo = SLOTracker()
+        for i in range(10):
+            slo.record("a", latency=0.1 * (i + 1), outcome="served",
+                       cache_hit=i % 2 == 0)
+        for _ in range(5):
+            slo.record("b", latency=0.0, outcome="shed")
+        slo.record("b", latency=2.0, outcome="served", degraded=True)
+        return slo
+
+    def test_summary_shape(self):
+        s = self.filled().summary(10.0)
+        assert s["served"] == 11 and s["shed"] == 5
+        assert s["per_tenant"]["a"]["throughput_rps"] == pytest.approx(1.0)
+        assert s["per_tenant"]["b"]["shed_rate"] == pytest.approx(5 / 6)
+        assert s["per_tenant"]["a"]["latency_p50_s"] == pytest.approx(0.5)
+        assert s["per_tenant"]["b"]["degraded"] == 1
+
+    def test_summary_excludes_cache_state(self):
+        """Cache-dependent numbers stay out of the deterministic summary
+        (a warm second run must compare equal); the ratio has its own
+        accessor."""
+        slo = self.filled()
+        assert "cache_hit_ratio" not in slo.summary(10.0)
+        assert slo.cache_hit_ratio() == pytest.approx(0.5)
+        assert SLOTracker().cache_hit_ratio() is None
+
+    def test_rejects_unknown_outcome(self):
+        with pytest.raises(ValueError):
+            SLOTracker().record("a", latency=0.0, outcome="lost")
+        with pytest.raises(ValueError):
+            self.filled().summary(0.0)
+
+    def test_into_registry(self):
+        reg = MetricsRegistry()
+        self.filled().into_registry(reg, duration=10.0)
+        text = reg.to_prometheus()
+        assert 'repro_serve_requests_total{outcome="served",tenant="a"} 10' in text
+        assert 'repro_serve_requests_total{outcome="shed",tenant="b"} 5' in text
+        assert "repro_serve_latency_quantile_seconds" in text
+        assert "repro_serve_cache_hit_ratio" in text
+        assert "repro_serve_degraded_total 1" in text
+        assert "repro_serve_throughput_rps" in text
