@@ -115,6 +115,40 @@ def run_eliminations(
     return simulate_compiled(cg, setup.machine, setup.b)
 
 
+def compiled_graph_for(
+    m: int,
+    n: int,
+    config: HQRConfig,
+    layout: Layout,
+    machine: Machine,
+    b: int,
+):
+    """Build (or fetch from the two-level cache) one compiled graph.
+
+    The shared build path of :func:`run_config`, the batched sweep, and
+    the :mod:`repro.tune` energy evaluator: fingerprint the inputs,
+    consult the process-wide :func:`~repro.dag.cache.default_cache`, and
+    fall back to an uncached build for layouts whose attributes have no
+    stable serialization (caching under an unstable key would silently
+    defeat the disk cache).
+    """
+    from repro.dag.cache import default_cache, fingerprint
+    from repro.dag.compiled import compiled_from_eliminations
+
+    def build():
+        with stage("elim"):
+            elims = hqr_elimination_list(m, n, config)
+        with stage("dag_build"):
+            return compiled_from_eliminations(elims, m, n, layout, machine, b)
+
+    with stage("graph"):
+        try:
+            key = fingerprint(m, n, config, layout, machine, b)
+        except TypeError:
+            return build()
+        return default_cache().get_or_build(key, build)
+
+
 def run_config(
     m: int,
     n: int,
@@ -135,29 +169,10 @@ def run_config(
         return run_eliminations(
             hqr_elimination_list(m, n, config), m, n, setup=setup, layout=layout
         )
-    from repro.dag.cache import default_cache, fingerprint
-    from repro.dag.compiled import compiled_from_eliminations
     from repro.runtime.compiled import simulate_compiled
 
     lay = layout if layout is not None else setup.layout
-
-    def build():
-        with stage("elim"):
-            elims = hqr_elimination_list(m, n, config)
-        with stage("dag_build"):
-            return compiled_from_eliminations(
-                elims, m, n, lay, setup.machine, setup.b
-            )
-
-    with stage("graph"):
-        try:
-            key = fingerprint(m, n, config, lay, setup.machine, setup.b)
-        except TypeError:
-            # custom layout with attributes that have no stable serialization:
-            # skip memoization rather than cache under an unstable key
-            cg = build()
-        else:
-            cg = default_cache().get_or_build(key, build)
+    cg = compiled_graph_for(m, n, config, lay, setup.machine, setup.b)
     with stage("simulate"):
         return simulate_compiled(cg, setup.machine, setup.b)
 
@@ -176,21 +191,8 @@ def _build_point(item) -> None:
     back through the memory-mapped cache.
     """
     m, n, config, setup, layout = item
-    from repro.dag.cache import default_cache, fingerprint
-    from repro.dag.compiled import compiled_from_eliminations
-
     lay = layout if layout is not None else setup.layout
-    key = fingerprint(m, n, config, lay, setup.machine, setup.b)
-
-    def build():
-        with stage("elim"):
-            elims = hqr_elimination_list(m, n, config)
-        with stage("dag_build"):
-            return compiled_from_eliminations(
-                elims, m, n, lay, setup.machine, setup.b
-            )
-
-    default_cache().get_or_build(key, build)
+    compiled_graph_for(m, n, config, lay, setup.machine, setup.b)
 
 
 def _sim_arena_point(item) -> SimulationResult:
@@ -284,23 +286,10 @@ def _sweep_batched(points, setup, workers) -> list[SimulationResult]:
         # transport="" : build fan-out, not the sweep's point transport
         parallel_map(_build_point, items, workers=workers, transport="")
         cache.clear_memory()  # reload below through the mmap path
-    graphs = []
-    with stage("graph"):
-        for (m, n, cfg), key in zip(points, keys):
-            def build(m=m, n=n, cfg=cfg):
-                with stage("elim"):
-                    elims = hqr_elimination_list(m, n, cfg)
-                with stage("dag_build"):
-                    from repro.dag.compiled import compiled_from_eliminations
-
-                    return compiled_from_eliminations(
-                        elims, m, n, setup.layout, machine, b
-                    )
-
-            if key is None:
-                graphs.append(build())
-            else:
-                graphs.append(cache.get_or_build(key, build))
+    graphs = [
+        compiled_graph_for(m, n, cfg, setup.layout, machine, b)
+        for m, n, cfg in points
+    ]
 
     # -- dispatch ------------------------------------------------------ #
     if c_lib is not None:

@@ -17,6 +17,7 @@ metrics    instrumented run: per-kernel/level/link metrics (JSON/Prometheus)
 profile    self-profile the harness (stage timers + cProfile)
 obs        observability reports (HTML) and bench-regression gates
 serve      persistent planning daemon / SLO-gated serving benchmark
+tune       seeded simulated-annealing autotuner over the HQR design space
 """
 
 from __future__ import annotations
@@ -599,6 +600,168 @@ def _add_obs_run_args(p: argparse.ArgumentParser) -> None:
     _add_config_args(p)
 
 
+def _tune_report(args, annealer, result, machine) -> None:
+    """Human-readable ``repro tune`` summary (best-k + acceptance curve)."""
+    from repro.hqr.config import HQRConfig
+
+    print(
+        f"repro tune: {args.m} x {args.n} tiles (b={args.b}) on "
+        f"{machine.nodes} x {machine.cores_per_node} cores, "
+        f"seed={annealer.seed} budget={annealer.budget}"
+    )
+    rate = result.acceptance_rate
+    print(
+        f"  proposals {result.proposals}, accepted {result.accepted} "
+        f"({rate:.0%}), simulations {result.evaluations} "
+        f"(memo hits {result.memo_hits})"
+    )
+    if result.accept_history:
+        curve = " ".join(
+            f"{h['accepted'] / h['proposed']:.2f}"
+            for h in result.accept_history
+        )
+        t_first = result.accept_history[0]["temperature"]
+        print(
+            f"  acceptance by batch: {curve}  "
+            f"(T {t_first:.4f} -> {result.final_temperature:.4f})"
+        )
+    print("  best configurations:")
+    for rank, entry in enumerate(result.best, start=1):
+        c = entry["case"]
+        cfg = HQRConfig(
+            p=c["p"], q=c["q"], a=c["a"], low_tree=c["low_tree"],
+            high_tree=c["high_tree"], domino=c["domino"],
+        )
+        print(
+            f"    {rank}. makespan {entry['energy']:.6f}s  {cfg} "
+            f"layout={c['layout_kind']}"
+        )
+    print(
+        f"  samples: {result.samples_path}  "
+        f"checkpoint: {result.checkpoint_path}"
+    )
+
+
+def cmd_tune(args) -> int:
+    import json
+    import os
+    import signal
+
+    if args.bench:
+        import tempfile
+
+        from repro.tune.bench import (
+            DEFAULT_BUDGET,
+            DEFAULT_SEED,
+            format_report,
+            tune_bench,
+            write_report,
+        )
+
+        saved = os.environ.get("REPRO_BENCH_SCALE")
+        if args.scale:
+            os.environ["REPRO_BENCH_SCALE"] = args.scale
+        try:
+            out_dir = args.out or tempfile.mkdtemp(prefix="repro-tune-bench-")
+            report = tune_bench(
+                out_dir,
+                seed=args.seed if args.seed is not None else DEFAULT_SEED,
+                budget=(
+                    args.budget if args.budget is not None else DEFAULT_BUDGET
+                ),
+                workers=args.workers,
+            )
+        finally:
+            if args.scale:
+                if saved is None:
+                    os.environ.pop("REPRO_BENCH_SCALE", None)
+                else:
+                    os.environ["REPRO_BENCH_SCALE"] = saved
+        print(format_report(report))
+        if args.json:
+            write_report(report, args.json)
+            print(f"wrote {args.json}")
+        return 0 if report["ok"] else 1
+
+    from repro.dag.cache import default_cache
+    from repro.obs.metrics import MetricsRegistry, cache_metrics_into
+    from repro.runtime.machine import Machine
+    from repro.tune import (
+        Annealer,
+        CoolingSchedule,
+        EnergyEvaluator,
+        initial_case,
+    )
+
+    machine = Machine(nodes=args.nodes, cores_per_node=args.cores)
+    evaluator = EnergyEvaluator(m=args.m, n=args.n, b=args.b, machine=machine)
+    seed = args.seed if args.seed is not None else 0
+    budget = args.budget if args.budget is not None else 200
+    start = initial_case(
+        args.m, args.n, args.b, machine,
+        grid_p=args.grid_p, grid_q=args.grid_q, seed=seed,
+    )
+    axes = tuple(args.axes.split(",")) if args.axes else None
+    out_dir = args.out or "tune_out"
+    try:
+        annealer = Annealer(
+            evaluator, start, out_dir,
+            seed=seed, budget=budget, batch_size=args.batch_size,
+            schedule=CoolingSchedule(
+                t0=args.t0, alpha=args.alpha, floor=args.floor
+            ),
+            top_k=args.top, axes=axes, max_a=args.max_a,
+            max_evaluations=args.max_evals,
+            resume=args.resume,
+        )
+    except (FileExistsError, FileNotFoundError, ValueError) as exc:
+        print(f"repro tune: {exc}", file=sys.stderr)
+        return 2
+
+    cache_snapshot = default_cache().stats()
+
+    def on_sigint(signum, frame):
+        annealer.request_stop()
+        # a second interrupt falls through to KeyboardInterrupt
+        signal.signal(signal.SIGINT, signal.default_int_handler)
+        print(
+            "\ninterrupt: finishing batch, writing checkpoint "
+            "(^C again to abort hard)...",
+            file=sys.stderr,
+        )
+
+    previous = signal.signal(signal.SIGINT, on_sigint)
+    try:
+        result = annealer.run()
+    finally:
+        signal.signal(signal.SIGINT, previous)
+
+    _tune_report(args, annealer, result, machine)
+
+    reg = MetricsRegistry()
+    annealer.metrics_into(reg, result)
+    cache_metrics_into(reg, default_cache().stats_since(cache_snapshot))
+    if args.json:
+        payload = {"params": annealer._params(), "result": result.to_dict()}
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote tune report to {args.json}")
+    if args.prom:
+        with open(args.prom, "w") as fh:
+            fh.write(reg.to_prometheus())
+        print(f"wrote Prometheus exposition to {args.prom}")
+
+    if result.interrupted:
+        print(
+            f"interrupted: resume with "
+            f"`repro tune --out {out_dir} --resume` (same knobs)",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
 def _package_version() -> str:
     try:
         from importlib.metadata import version
@@ -904,6 +1067,97 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", help="write BENCH_serve.json here")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "tune",
+        help="seeded simulated-annealing autotuner (see docs/tuning.md)",
+    )
+    p.add_argument("--m", type=int, default=32, help="tile rows")
+    p.add_argument("--n", type=int, default=4, help="tile columns")
+    p.add_argument("--b", type=int, default=280, help="tile size")
+    p.add_argument("--nodes", type=int, default=60, help="cluster nodes")
+    p.add_argument("--cores", type=int, default=8, help="cores per node")
+    p.add_argument(
+        "--grid-p", type=int, help="starting grid rows (default: auto)"
+    )
+    p.add_argument(
+        "--grid-q", type=int, help="starting grid columns (default: auto)"
+    )
+    p.add_argument(
+        "--seed", type=int, help="chain seed (default: 0)"
+    )
+    p.add_argument(
+        "--budget",
+        type=int,
+        help="proposal budget (default: 200; bench: 400)",
+    )
+    p.add_argument(
+        "--max-evals",
+        type=int,
+        help="also stop after this many unique simulations "
+        "(memoized revisits are free)",
+    )
+    p.add_argument(
+        "--batch-size",
+        type=int,
+        default=16,
+        help="proposals per temperature step (one batched dispatch each)",
+    )
+    p.add_argument(
+        "--t0", type=float, default=0.05, help="initial temperature"
+    )
+    p.add_argument(
+        "--alpha",
+        type=float,
+        default=0.85,
+        help="geometric cooling factor per batch",
+    )
+    p.add_argument(
+        "--floor", type=float, default=1e-4, help="temperature floor"
+    )
+    p.add_argument(
+        "--top", type=int, default=5, help="best-k configs to report"
+    )
+    p.add_argument(
+        "--axes",
+        help="comma-separated move axes to search "
+        "(default: all of low_tree,high_tree,domino,a,grid,layout)",
+    )
+    p.add_argument(
+        "--max-a", type=int, help="cap the TS-domain size random walk"
+    )
+    p.add_argument(
+        "--out",
+        help="run directory (samples.jsonl + checkpoint.json; "
+        "default: tune_out, bench mode: a temp directory)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the checkpoint in --out (same knobs required)",
+    )
+    p.add_argument(
+        "--bench",
+        action="store_true",
+        help="tune-vs-exhaustive comparison benchmark (BENCH_tune)",
+    )
+    p.add_argument(
+        "--scale",
+        choices=("small", "default", "full"),
+        help="override REPRO_BENCH_SCALE for this run (bench mode)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        help="exhaustive-sweep workers (bench mode; default: CPUs)",
+    )
+    p.add_argument(
+        "--json", help="write the machine-readable report here"
+    )
+    p.add_argument(
+        "--prom", help="write Prometheus text exposition format here"
+    )
+    p.set_defaults(fn=cmd_tune)
 
     p = sub.add_parser("auto", help="pick a configuration automatically")
     p.add_argument("--m", type=int, default=128)

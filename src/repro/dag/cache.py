@@ -426,6 +426,17 @@ class CompiledGraphCache:
         with self._lock:
             return dict(self._stats)
 
+    def stats_since(self, snapshot: dict[str, int]) -> dict[str, int]:
+        """Counter increments since ``snapshot`` (an earlier :meth:`stats`).
+
+        The cache is process-wide, so phase-scoped accounting — the
+        :mod:`repro.tune` annealer attributing hits to one search, a
+        benchmark isolating its own warm-up — diffs two snapshots rather
+        than resetting shared counters under other threads' feet.
+        """
+        now = self.stats()
+        return {k: v - snapshot.get(k, 0) for k, v in now.items()}
+
     def clear_memory(self) -> None:
         with self._lock:
             self._memory.clear()

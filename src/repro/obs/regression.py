@@ -41,6 +41,7 @@ GATED_METRICS = (
     "sweep_wall_s",
     "sweep_batched_wall_s",
     "serve_wall_s",
+    "tune_wall_s",
 )
 
 

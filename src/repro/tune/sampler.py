@@ -1,0 +1,499 @@
+"""Seeded simulated-annealing search over the legal HQR design space.
+
+The full configuration space of the paper — trees x trees x domino x
+``a`` x grid x layout — explodes combinatorially; exhausting it (the
+:mod:`repro.models.explorer` route) stops being an option a few axes in.
+:class:`Annealer` walks it instead: a Metropolis random walk whose
+proposal distribution is :func:`repro.verify.propose_neighbor` (one axis
+perturbed per move, machine pinned) and whose energy is the simulated
+makespan from :class:`repro.tune.energy.EnergyEvaluator`.
+
+Design points, in the order they matter:
+
+* **batched evaluation** — each temperature step draws a whole batch of
+  proposals and evaluates them through one batched C-core dispatch, then
+  replays Metropolis acceptance sequentially.  Cheap wall-clock, and the
+  accept/reject stream stays a pure function of ``(seed, params)``.
+* **bounded streaming** — accepted samples accumulate in a RAM buffer
+  (:class:`SampleBuffer`) and flush to ``samples.jsonl`` in chunks; when
+  the kept count reaches its cap the buffer doubles its thinning stride
+  (prospectively — already-written samples are never rewritten).
+* **resumable checkpoints** — after every batch the annealer flushes the
+  buffer and atomically rewrites ``checkpoint.json`` (RNG state, current
+  chain state, counters, best-k, buffer bookkeeping).  A SIGINT-stopped
+  run resumed from its checkpoint produces the *bitwise identical*
+  accepted-sample stream and best-k list of an uninterrupted run; only
+  wall time and the evaluation count may differ (the energy memo is
+  per-process and deliberately not checkpointed).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import os
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.tune.energy import EnergyEvaluator
+from repro.verify.generator import NEIGHBOR_AXES, VerifyCase, propose_neighbor
+
+__all__ = [
+    "Annealer",
+    "CoolingSchedule",
+    "SampleBuffer",
+    "TuneResult",
+    "load_checkpoint",
+]
+
+#: how many batches between forced sample-file flushes (chunked I/O)
+FLUSH_CHUNK = 64
+
+
+@dataclass(frozen=True)
+class CoolingSchedule:
+    """Geometric cooling: ``T_j = max(floor, t0 * alpha**j)`` per batch.
+
+    Temperatures are dimensionless — acceptance compares *relative*
+    energy deltas ``(E' - E) / E0`` against ``T``, so the same schedule
+    works across matrix sizes and machines without re-tuning.
+    """
+
+    t0: float = 0.05
+    alpha: float = 0.85
+    floor: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.t0 <= 0 or not (0 < self.alpha <= 1) or self.floor <= 0:
+            raise ValueError(
+                f"need t0 > 0, 0 < alpha <= 1, floor > 0; got "
+                f"t0={self.t0}, alpha={self.alpha}, floor={self.floor}"
+            )
+
+    def temperature(self, batch_idx: int) -> float:
+        return max(self.floor, self.t0 * self.alpha**batch_idx)
+
+
+class SampleBuffer:
+    """Bounded RAM buffer streaming accepted samples to a JSONL file.
+
+    ``seen`` counts every offered sample; one in ``thin`` is kept.  When
+    the kept count (written + pending) reaches ``max_kept`` the stride
+    doubles, so an arbitrarily long chain needs at most ``2 * max_kept``
+    lines on disk.  Thinning is *prospective*: doubling never touches
+    samples already written.  ``state()``/restore keeps all three
+    counters across checkpoint/resume so the kept-sample stream is a
+    pure function of the offered stream.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        max_kept: int = 4096,
+        chunk: int = FLUSH_CHUNK,
+    ) -> None:
+        self.path = path
+        self.max_kept = max(1, max_kept)
+        self.chunk = max(1, chunk)
+        self.seen = 0
+        self.thin = 1
+        self.flushed = 0  # lines on disk
+        self.pending: list[dict] = []
+
+    # ------------------------------------------------------------------ #
+    def offer(self, sample: dict) -> bool:
+        """Offer one sample; keep it if it lands on the thinning stride."""
+        keep = self.seen % self.thin == 0
+        self.seen += 1
+        if keep:
+            self.pending.append(sample)
+            if self.flushed + len(self.pending) >= self.max_kept:
+                self.thin *= 2
+            if len(self.pending) >= self.chunk:
+                self.flush()
+        return keep
+
+    def flush(self) -> None:
+        """Append pending samples to disk (one sorted-key JSON per line)."""
+        if not self.pending:
+            return
+        with open(self.path, "a", encoding="utf-8") as fh:
+            for sample in self.pending:
+                fh.write(json.dumps(sample, sort_keys=True) + "\n")
+        self.flushed += len(self.pending)
+        self.pending.clear()
+
+    # ------------------------------------------------------------------ #
+    def state(self) -> dict:
+        return {"seen": self.seen, "thin": self.thin, "flushed": self.flushed}
+
+    def restore(self, state: dict) -> None:
+        """Adopt checkpointed counters and truncate the file to match.
+
+        Lines past ``flushed`` were written after the checkpoint (e.g. a
+        kill between flush and checkpoint) and are dropped so the resumed
+        stream continues from exactly the checkpointed prefix.
+        """
+        self.seen = int(state["seen"])
+        self.thin = int(state["thin"])
+        self.flushed = int(state["flushed"])
+        self.pending.clear()
+        lines: list[str] = []
+        if os.path.exists(self.path):
+            with open(self.path, encoding="utf-8") as fh:
+                lines = fh.readlines()
+        if len(lines) < self.flushed:
+            raise ValueError(
+                f"sample file {self.path} has {len(lines)} lines but the "
+                f"checkpoint expects {self.flushed}; refusing to resume"
+            )
+        if len(lines) > self.flushed:
+            with open(self.path, "w", encoding="utf-8") as fh:
+                fh.writelines(lines[: self.flushed])
+
+
+@dataclass
+class TuneResult:
+    """Outcome of one :meth:`Annealer.run` (finished or interrupted)."""
+
+    best: list[dict]
+    proposals: int
+    accepted: int
+    evaluations: int
+    memo_hits: int
+    batches: int
+    e0: float
+    final_temperature: float
+    accept_history: list[dict]
+    interrupted: bool
+    samples_path: str
+    checkpoint_path: str
+    wall_s: float = 0.0
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.accepted / self.proposals if self.proposals else 0.0
+
+    def to_dict(self) -> dict:
+        d = dataclasses.asdict(self)
+        d["acceptance_rate"] = self.acceptance_rate
+        return d
+
+
+def _rng_state_to_json(state) -> list:
+    return [state[0], list(state[1]), state[2]]
+
+
+def _rng_state_from_json(state) -> tuple:
+    return (state[0], tuple(state[1]), state[2])
+
+
+def _atomic_write_json(path: str, payload: dict) -> None:
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: str) -> dict:
+    """Read a checkpoint file (raises ``FileNotFoundError`` if absent)."""
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+class Annealer:
+    """Metropolis chain over :class:`VerifyCase` states, batch-evaluated.
+
+    One instance owns one run directory (``samples.jsonl`` +
+    ``checkpoint.json``).  Construct with ``resume=True`` to continue a
+    checkpointed run; parameters must match the checkpoint exactly or
+    construction refuses (silently changing the schedule mid-chain would
+    produce a stream no single-seed run can reproduce).
+    """
+
+    CHECKPOINT_VERSION = 1
+
+    def __init__(
+        self,
+        evaluator: EnergyEvaluator,
+        start: VerifyCase,
+        out_dir: str,
+        *,
+        seed: int = 0,
+        budget: int = 200,
+        batch_size: int = 16,
+        schedule: CoolingSchedule | None = None,
+        top_k: int = 5,
+        axes: tuple[str, ...] | None = None,
+        max_a: int | None = None,
+        max_kept: int = 4096,
+        max_evaluations: int | None = None,
+        resume: bool = False,
+    ) -> None:
+        if budget < 1 or batch_size < 1 or top_k < 1:
+            raise ValueError("budget, batch_size and top_k must be >= 1")
+        for axis in axes or ():
+            if axis not in NEIGHBOR_AXES:
+                raise ValueError(
+                    f"unknown axis {axis!r}; pick from {NEIGHBOR_AXES}"
+                )
+        self.evaluator = evaluator
+        self.out_dir = out_dir
+        self.seed = seed
+        self.budget = budget
+        self.batch_size = batch_size
+        self.schedule = schedule or CoolingSchedule()
+        self.top_k = top_k
+        self.axes = tuple(axes) if axes else None
+        self.max_a = max_a
+        #: stop once this many unique configs were simulated (memo hits
+        #: are free, so a long chain can ride on few simulations)
+        self.max_evaluations = max_evaluations
+        os.makedirs(out_dir, exist_ok=True)
+        self.samples_path = os.path.join(out_dir, "samples.jsonl")
+        self.checkpoint_path = os.path.join(out_dir, "checkpoint.json")
+        self.buffer = SampleBuffer(self.samples_path, max_kept=max_kept)
+
+        self.rng = random.Random(seed)
+        self.current = start
+        self.energy = math.nan
+        self.e0 = math.nan
+        self.proposals = 0
+        self.accepted = 0
+        self.batch_idx = 0
+        self.accept_history: list[dict] = []
+        #: key -> {"key", "energy", "case"}; pruned to top_k each batch
+        self._best: dict[str, dict] = {}
+        self._stop = False
+        self._started = False
+
+        if resume:
+            self._restore()
+        elif os.path.exists(self.checkpoint_path):
+            raise FileExistsError(
+                f"{self.checkpoint_path} exists; pass resume=True to "
+                "continue it or point --out at a fresh directory"
+            )
+        else:
+            # a fresh run must not append to a stale sample file
+            if os.path.exists(self.samples_path):
+                os.remove(self.samples_path)
+
+    # ------------------------------------------------------------------ #
+    def request_stop(self) -> None:
+        """Ask the chain to stop at the next batch boundary (signal-safe)."""
+        self._stop = True
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop
+
+    # ------------------------------------------------------------------ #
+    def _params(self) -> dict:
+        ev = self.evaluator
+        return {
+            "m": ev.m,
+            "n": ev.n,
+            "b": ev.b,
+            "machine": {
+                "nodes": ev.machine.nodes,
+                "cores_per_node": ev.machine.cores_per_node,
+                "latency": ev.machine.latency,
+                "bandwidth": (
+                    "inf" if ev.machine.bandwidth == float("inf")
+                    else ev.machine.bandwidth
+                ),
+                "comm_serialized": ev.machine.comm_serialized,
+                "site_size": ev.machine.site_size,
+            },
+            "seed": self.seed,
+            "budget": self.budget,
+            "batch_size": self.batch_size,
+            "t0": self.schedule.t0,
+            "alpha": self.schedule.alpha,
+            "floor": self.schedule.floor,
+            "top_k": self.top_k,
+            "axes": list(self.axes) if self.axes else None,
+            "max_a": self.max_a,
+            "max_kept": self.buffer.max_kept,
+            "max_evaluations": self.max_evaluations,
+        }
+
+    def _checkpoint(self) -> None:
+        self.buffer.flush()
+        _atomic_write_json(self.checkpoint_path, {
+            "version": self.CHECKPOINT_VERSION,
+            "params": self._params(),
+            "batch_idx": self.batch_idx,
+            "proposals": self.proposals,
+            "accepted": self.accepted,
+            "evaluations": self.evaluator.evaluations,
+            "memo_hits": self.evaluator.memo_hits,
+            "e0": self.e0,
+            "current": {
+                "case": self.current.to_dict(),
+                "energy": self.energy,
+            },
+            "rng_state": _rng_state_to_json(self.rng.getstate()),
+            "best": self.best(),
+            "accept_history": self.accept_history,
+            "buffer": self.buffer.state(),
+        })
+
+    def _restore(self) -> None:
+        ck = load_checkpoint(self.checkpoint_path)
+        if ck.get("version") != self.CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint version {ck.get('version')} != "
+                f"{self.CHECKPOINT_VERSION}"
+            )
+        if ck["params"] != self._params():
+            raise ValueError(
+                "checkpoint parameters do not match this run; resuming "
+                "under different knobs would break seeded reproducibility.\n"
+                f"  checkpoint: {json.dumps(ck['params'], sort_keys=True)}\n"
+                f"  requested:  {json.dumps(self._params(), sort_keys=True)}"
+            )
+        self.batch_idx = ck["batch_idx"]
+        self.proposals = ck["proposals"]
+        self.accepted = ck["accepted"]
+        # counters carry over; post-resume misses re-simulate (memo is
+        # per-process), so `evaluations` may end higher than uninterrupted
+        self.evaluator.evaluations = ck["evaluations"]
+        self.evaluator.memo_hits = ck["memo_hits"]
+        self.e0 = ck["e0"]
+        self.current = VerifyCase.from_dict(ck["current"]["case"])
+        self.energy = ck["current"]["energy"]
+        self.rng.setstate(_rng_state_from_json(ck["rng_state"]))
+        self._best = {entry["key"]: entry for entry in ck["best"]}
+        self.accept_history = ck["accept_history"]
+        self.buffer.restore(ck["buffer"])
+        self._started = True
+
+    # ------------------------------------------------------------------ #
+    def best(self) -> list[dict]:
+        """Top-k evaluated configs, ascending energy (key breaks ties)."""
+        ranked = sorted(
+            self._best.values(), key=lambda e: (e["energy"], e["key"])
+        )
+        return ranked[: self.top_k]
+
+    def _note(self, case: VerifyCase, energy: float) -> None:
+        key = self.evaluator.energy_key(case)
+        if key not in self._best:
+            self._best[key] = {
+                "key": key, "energy": energy, "case": case.to_dict(),
+            }
+        # prune so checkpoints stay O(top_k) regardless of chain length
+        if len(self._best) > 4 * self.top_k:
+            self._best = {e["key"]: e for e in self.best()}
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> TuneResult:
+        """Walk until the proposal budget is spent or a stop is requested."""
+        wall0 = time.perf_counter()
+        if not self._started:
+            self.energy = self.evaluator.evaluate([self.current])[0]
+            self.e0 = self.energy if self.energy > 0 else 1.0
+            self._note(self.current, self.energy)
+            self._started = True
+            self._checkpoint()
+        delay = float(os.environ.get("REPRO_TUNE_BATCH_DELAY", "0") or 0.0)
+        interrupted = False
+        while self.proposals < self.budget:
+            if self._stop:
+                interrupted = True
+                break
+            if (
+                self.max_evaluations is not None
+                and self.evaluator.evaluations >= self.max_evaluations
+            ):
+                break
+            self._run_batch()
+            if delay:
+                time.sleep(delay)
+            self._checkpoint()  # flushes the buffer first
+        self.buffer.flush()
+        return TuneResult(
+            best=self.best(),
+            proposals=self.proposals,
+            accepted=self.accepted,
+            evaluations=self.evaluator.evaluations,
+            memo_hits=self.evaluator.memo_hits,
+            batches=self.batch_idx,
+            e0=self.e0,
+            final_temperature=self.schedule.temperature(
+                max(0, self.batch_idx - 1)
+            ),
+            accept_history=self.accept_history,
+            interrupted=interrupted,
+            samples_path=self.samples_path,
+            checkpoint_path=self.checkpoint_path,
+            wall_s=time.perf_counter() - wall0,
+        )
+
+    def _run_batch(self) -> None:
+        t = self.schedule.temperature(self.batch_idx)
+        k = min(self.batch_size, self.budget - self.proposals)
+        proposals = []
+        for _ in range(k):
+            axis = self.rng.choice(self.axes) if self.axes else None
+            proposals.append(propose_neighbor(
+                self.current, self.rng, axis,
+                fixed_machine=True, max_a=self.max_a,
+            ))
+        energies = self.evaluator.evaluate(proposals)
+        accepted_here = 0
+        for case, ep in zip(proposals, energies):
+            self.proposals += 1
+            self._note(case, ep)
+            delta = (ep - self.energy) / self.e0
+            if delta <= 0 or self.rng.random() < math.exp(-delta / t):
+                self.current = case
+                self.energy = ep
+                self.accepted += 1
+                accepted_here += 1
+                self.buffer.offer({
+                    "proposal": self.proposals,
+                    "batch": self.batch_idx,
+                    "temperature": t,
+                    "energy": ep,
+                    "case": case.to_dict(),
+                })
+        self.accept_history.append({
+            "batch": self.batch_idx,
+            "temperature": t,
+            "proposed": k,
+            "accepted": accepted_here,
+        })
+        self.batch_idx += 1
+
+    # ------------------------------------------------------------------ #
+    def metrics_into(self, reg, result: TuneResult) -> None:
+        """Export run counters into a :class:`MetricsRegistry`."""
+        reg.counter(
+            "repro_tune_proposals_total", "annealer proposals drawn"
+        ).inc(result.proposals)
+        reg.counter(
+            "repro_tune_accepted_total", "Metropolis-accepted proposals"
+        ).inc(result.accepted)
+        reg.counter(
+            "repro_tune_evaluations_total",
+            "unique configurations simulated (post-memo)",
+        ).inc(result.evaluations)
+        reg.counter(
+            "repro_tune_energy_memo_hits_total",
+            "proposals answered from the per-run energy memo",
+        ).inc(result.memo_hits)
+        reg.gauge(
+            "repro_tune_acceptance_rate", "accepted over proposed"
+        ).set(result.acceptance_rate)
+        if result.best:
+            reg.gauge(
+                "repro_tune_best_makespan_seconds",
+                "lowest simulated makespan seen",
+            ).set(result.best[0]["energy"])

@@ -10,7 +10,9 @@ benchmark number.  This package is the standing correctness tool that
 enforces that promise:
 
 * :mod:`repro.verify.generator` — seeded sampling of HQR configurations
-  (trees x domino x ``a`` x grids x machine shapes x priorities);
+  (trees x domino x ``a`` x grids x machine shapes x priorities), plus
+  the single-axis :func:`propose_neighbor` moves the :mod:`repro.tune`
+  annealer uses as its proposal distribution;
 * :mod:`repro.verify.engines` — runs one case on every engine and
   compares the results bitwise;
 * :mod:`repro.verify.oracle` — checks schedule legality independently of
@@ -23,7 +25,12 @@ enforces that promise:
 """
 
 from repro.verify.engines import available_engines, result_key, run_engines
-from repro.verify.generator import VerifyCase, generate_cases
+from repro.verify.generator import (
+    NEIGHBOR_AXES,
+    VerifyCase,
+    generate_cases,
+    propose_neighbor,
+)
 from repro.verify.oracle import OracleViolation, check_schedule
 from repro.verify.runner import (
     CaseFailure,
@@ -36,11 +43,13 @@ from repro.verify.shrink import shrink_case
 
 __all__ = [
     "CaseFailure",
+    "NEIGHBOR_AXES",
     "OracleViolation",
     "VerifyCase",
     "available_engines",
     "check_schedule",
     "generate_cases",
+    "propose_neighbor",
     "replay_report",
     "result_key",
     "run_engines",

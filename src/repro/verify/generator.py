@@ -187,3 +187,99 @@ def generate_cases(seed: int, budget: int) -> Iterator[VerifyCase]:
     """Yield ``budget`` deterministic cases for ``seed``."""
     for index in range(budget):
         yield sample_case(seed, index)
+
+
+#: axes :func:`propose_neighbor` can perturb, one per move
+NEIGHBOR_AXES = ("low_tree", "high_tree", "domino", "a", "grid", "layout")
+
+
+def _reflect_step(value: int, step: int, lo: int, hi: int) -> int:
+    """``value + step`` reflected into ``[lo, hi]`` (identity when lo==hi)."""
+    nxt = value + step
+    if nxt < lo:
+        nxt = min(lo + 1, hi) if value == lo else lo
+    elif nxt > hi:
+        nxt = max(hi - 1, lo) if value == hi else hi
+    return nxt
+
+
+def propose_neighbor(
+    case: VerifyCase,
+    rng: random.Random,
+    axis: str | None = None,
+    *,
+    fixed_machine: bool = False,
+    max_a: int | None = None,
+) -> VerifyCase:
+    """Return a legal neighbor of ``case`` with exactly one axis perturbed.
+
+    This is the proposal distribution of the :mod:`repro.tune` annealer —
+    a single-axis random-walk move over the same legal configuration
+    space :func:`sample_case` draws from.  A move is a pure function of
+    ``(case, rng state)``, so a seeded chain of proposals is exactly
+    reproducible.
+
+    Move types (``axis=None`` picks one of :data:`NEIGHBOR_AXES`
+    uniformly):
+
+    ========== ==========================================================
+    axis       move
+    ========== ==========================================================
+    `low_tree`  resample the level-1 tree among the three *other* kinds
+    `high_tree` resample the level-3 tree among the three *other* kinds
+    `domino`    flip the coupling level on/off
+    `a`         ±1 random walk on the TS-domain size, reflected into
+                ``[1, max_a or m]``
+    `grid`      ±1 random walk on one of ``p``/``q`` (picked uniformly),
+                reflected into ``[1, m]``; with ``fixed_machine`` the
+                grid is additionally capped so ``p * q`` never exceeds
+                the machine's node count
+    `layout`    resample the layout family among the other kinds (with
+                ``fixed_machine``, ``single`` is proposed only on
+                one-node machines — it would waste the cluster)
+    ========== ==========================================================
+
+    With ``fixed_machine=False`` (verify semantics) the machine follows
+    the case via :meth:`VerifyCase.replaced` — e.g. growing a grid under
+    a grid layout grows ``nodes`` with it.  With ``fixed_machine=True``
+    (tune semantics: the platform is an *input*, the configuration is
+    searched) every machine axis — ``nodes``, ``cores_per_node``,
+    latency/bandwidth, ``comm_serialized``, ``site_size`` — is left
+    untouched and grid moves are constrained to fit the machine.
+    """
+    if axis is None:
+        axis = rng.choice(NEIGHBOR_AXES)
+    if axis not in NEIGHBOR_AXES:
+        raise ValueError(
+            f"unknown neighbor axis {axis!r}; pick one of {NEIGHBOR_AXES}"
+        )
+    changes: dict = {}
+    if axis in ("low_tree", "high_tree"):
+        current = getattr(case, axis)
+        changes[axis] = rng.choice([t for t in TREES if t != current])
+    elif axis == "domino":
+        changes["domino"] = not case.domino
+    elif axis == "a":
+        hi = max(1, max_a if max_a is not None else case.m)
+        changes["a"] = _reflect_step(case.a, rng.choice((-1, 1)), 1, hi)
+    elif axis == "grid":
+        dim = rng.choice(("p", "q"))
+        step = rng.choice((-1, 1))
+        hi = max(1, case.m)
+        value = _reflect_step(getattr(case, dim), step, 1, hi)
+        if fixed_machine:
+            other = case.q if dim == "p" else case.p
+            while value * other > case.nodes and value > 1:
+                value -= 1
+        changes[dim] = value
+    elif axis == "layout":
+        kinds = [k for k in LAYOUT_KINDS if k != case.layout_kind]
+        if fixed_machine and case.nodes > 1:
+            kinds = [k for k in kinds if k != "single"]
+        if kinds:
+            changes["layout_kind"] = rng.choice(kinds)
+    if not changes:  # degenerate axis (e.g. nothing legal to move to)
+        return case
+    if fixed_machine:
+        return dataclasses.replace(case, **changes)
+    return case.replaced(**changes)

@@ -1,0 +1,60 @@
+"""EnergyEvaluator: batched makespan energies + memoization."""
+
+import pytest
+
+from repro.runtime.machine import Machine
+from repro.tune import EnergyEvaluator, initial_case
+from repro.verify.generator import propose_neighbor
+
+import random
+
+
+MACHINE = Machine(nodes=4, cores_per_node=2)
+
+
+def test_initial_case_mirrors_machine_and_defaults_grid():
+    case = initial_case(8, 2, 16, MACHINE)
+    assert (case.m, case.n, case.b) == (8, 2, 16)
+    assert case.layout_kind == "grid"
+    assert case.p * case.q <= MACHINE.nodes
+    assert case.nodes == MACHINE.nodes
+    assert case.cores_per_node == MACHINE.cores_per_node
+    assert case.machine() == MACHINE
+
+
+def test_initial_case_refuses_oversized_grid():
+    with pytest.raises(ValueError, match="4 nodes"):
+        initial_case(8, 2, 16, MACHINE, grid_p=3, grid_q=2)
+
+
+def test_energy_positive_and_memoized():
+    ev = EnergyEvaluator(8, 2, 16, MACHINE)
+    case = initial_case(8, 2, 16, MACHINE)
+    first = ev.evaluate([case])
+    assert first[0] > 0
+    assert ev.evaluations == 1 and ev.memo_hits == 0
+
+    again = ev.evaluate([case, case])
+    assert again == [first[0], first[0]]
+    assert ev.evaluations == 1  # no re-simulation
+    assert ev.memo_hits == 2
+
+
+def test_batched_evaluation_matches_one_by_one():
+    start = initial_case(8, 2, 16, MACHINE)
+    rng = random.Random(0)
+    cases = [start] + [
+        propose_neighbor(start, rng, fixed_machine=True) for _ in range(6)
+    ]
+    batched = EnergyEvaluator(8, 2, 16, MACHINE).evaluate(cases)
+    single_ev = EnergyEvaluator(8, 2, 16, MACHINE)
+    singles = [single_ev.evaluate([c])[0] for c in cases]
+    assert batched == singles
+
+
+def test_duplicate_proposals_within_batch_simulate_once():
+    ev = EnergyEvaluator(8, 2, 16, MACHINE)
+    case = initial_case(8, 2, 16, MACHINE)
+    energies = ev.evaluate([case, case, case])
+    assert len(set(energies)) == 1
+    assert ev.evaluations == 1

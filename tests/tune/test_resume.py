@@ -1,0 +1,105 @@
+"""SIGINT-interrupted `repro tune` resumes bitwise identically.
+
+This drives the real CLI in subprocesses: a run is interrupted with an
+actual SIGINT mid-chain (`REPRO_TUNE_BATCH_DELAY` widens the batch
+boundaries so the signal lands deterministically between checkpoints),
+then `--resume` continues it.  The resumed run's accepted-sample stream
+and best-k must equal an uninterrupted run's byte for byte.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+ARGS = [
+    "--m", "8", "--n", "2", "--b", "16",
+    "--nodes", "4", "--cores", "2",
+    "--seed", "0", "--budget", "40", "--batch-size", "8",
+]
+
+
+def run_tune(out_dir, json_path, *extra, env_extra=None, wait=True):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env.update(env_extra or {})
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "tune", *ARGS,
+         "--out", str(out_dir), "--json", str(json_path), *extra],
+        env=env,
+        cwd=str(REPO),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    if not wait:
+        return proc
+    out, err = proc.communicate(timeout=120)
+    assert proc.returncode == 0, f"tune failed:\n{out}\n{err}"
+    return proc
+
+
+def test_sigint_then_resume_matches_uninterrupted(tmp_path):
+    # 1. the uninterrupted reference (no delay: results are unaffected)
+    run_tune(tmp_path / "ref", tmp_path / "ref.json")
+    ref_stream = (tmp_path / "ref" / "samples.jsonl").read_bytes()
+    ref = json.loads((tmp_path / "ref.json").read_text(encoding="utf-8"))
+    assert ref["result"]["proposals"] == 40
+
+    # 2. start a slowed run and SIGINT it once the first checkpoint lands
+    out = tmp_path / "run"
+    proc = run_tune(
+        out, tmp_path / "partial.json", wait=False,
+        env_extra={"REPRO_TUNE_BATCH_DELAY": "0.3"},
+    )
+    ckpt = out / "checkpoint.json"
+    deadline = time.monotonic() + 60
+    while not ckpt.exists() and time.monotonic() < deadline:
+        time.sleep(0.02)
+    assert ckpt.exists(), "no checkpoint appeared within 60s"
+    time.sleep(0.1)
+    proc.send_signal(signal.SIGINT)
+    stdout, stderr = proc.communicate(timeout=120)
+    assert proc.returncode == 3, f"expected exit 3:\n{stdout}\n{stderr}"
+    assert "--resume" in stderr  # the hint telling the user how to go on
+
+    partial = json.loads(
+        (tmp_path / "partial.json").read_text(encoding="utf-8")
+    )
+    assert partial["result"]["interrupted"]
+    assert partial["result"]["proposals"] < 40
+
+    # 3. resume (full speed) and compare byte for byte
+    run_tune(out, tmp_path / "resumed.json", "--resume")
+    resumed = json.loads(
+        (tmp_path / "resumed.json").read_text(encoding="utf-8")
+    )
+    assert not resumed["result"]["interrupted"]
+    assert resumed["result"]["proposals"] == 40
+    assert resumed["result"]["best"] == ref["result"]["best"]
+    assert (
+        resumed["result"]["accept_history"]
+        == ref["result"]["accept_history"]
+    )
+    assert (out / "samples.jsonl").read_bytes() == ref_stream
+
+
+def test_resume_without_checkpoint_exits_cleanly(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "tune", *ARGS,
+         "--out", str(tmp_path / "void"), "--resume"],
+        env=env,
+        cwd=str(REPO),
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 2
+    assert "checkpoint" in proc.stderr.lower()

@@ -2,13 +2,18 @@
 
 import dataclasses
 import json
+import random
+
+import pytest
 
 from repro.verify.generator import (
     LAYOUT_KINDS,
+    NEIGHBOR_AXES,
     PRIORITY_CHOICES,
     TREES,
     VerifyCase,
     generate_cases,
+    propose_neighbor,
     sample_case,
 )
 
@@ -71,3 +76,115 @@ def test_replaced_keeps_machine_consistent():
 
     single = dataclasses.replace(base, layout_kind="single", nodes=1)
     assert single.replaced(m=2).nodes == 1
+
+
+# ----------------------------------------------- neighborhood moves
+
+
+def _count_diffs(a: VerifyCase, b: VerifyCase) -> dict:
+    return {
+        f.name: (getattr(a, f.name), getattr(b, f.name))
+        for f in dataclasses.fields(VerifyCase)
+        if getattr(a, f.name) != getattr(b, f.name)
+    }
+
+
+def test_propose_neighbor_is_deterministic():
+    case = sample_case(0, 3)
+    a = [propose_neighbor(case, random.Random(9)) for _ in range(30)]
+    b = [propose_neighbor(case, random.Random(9)) for _ in range(30)]
+    # NB: one shared rng per stream — state advances across calls
+    rng1, rng2 = random.Random(9), random.Random(9)
+    chain1 = [propose_neighbor(case, rng1) for _ in range(30)]
+    chain2 = [propose_neighbor(case, rng2) for _ in range(30)]
+    assert a == b
+    assert chain1 == chain2
+
+
+def test_propose_neighbor_moves_exactly_one_axis():
+    rng = random.Random(1)
+    single_field = {
+        "low_tree": {"low_tree"},
+        "high_tree": {"high_tree"},
+        "domino": {"domino"},
+        "a": {"a"},
+        "grid": {"p", "q"},
+        "layout": {"layout_kind"},
+    }
+    for axis in NEIGHBOR_AXES:
+        for trial in range(40):
+            case = sample_case(2, trial)
+            moved = propose_neighbor(case, rng, axis, fixed_machine=True)
+            diffs = _count_diffs(case, moved)
+            assert set(diffs) <= single_field[axis], (axis, diffs)
+            if axis == "grid":
+                # one dimension per move, never both
+                assert len(diffs) <= 1
+
+
+def test_propose_neighbor_fixed_machine_pins_the_platform():
+    rng = random.Random(4)
+    machine_fields = (
+        "nodes", "cores_per_node", "latency", "bandwidth",
+        "comm_serialized", "site_size",
+    )
+    for trial in range(80):
+        case = sample_case(3, trial)
+        moved = propose_neighbor(case, rng, fixed_machine=True)
+        for name in machine_fields:
+            assert getattr(moved, name) == getattr(case, name)
+        # grid moves must keep fitting on the pinned machine
+        if moved.layout_kind == "grid" and case.layout_kind == "grid":
+            assert moved.p * moved.q <= max(case.nodes, case.p * case.q)
+        # a populated cluster is never proposed the single-node layout
+        if case.nodes > 1 and case.layout_kind != "single":
+            assert moved.layout_kind != "single"
+
+
+def test_propose_neighbor_verify_semantics_follow_the_machine():
+    base = sample_case(0, 0)
+    case = dataclasses.replace(
+        base, layout_kind="grid", p=2, q=2, nodes=4, site_size=0
+    )
+    rng = random.Random(7)
+    grown = [
+        propose_neighbor(case, rng, "grid") for _ in range(20)
+    ]
+    assert all(g.nodes == g.p * g.q for g in grown)
+
+
+def test_propose_neighbor_respects_max_a():
+    rng = random.Random(5)
+    case = dataclasses.replace(sample_case(1, 1), a=3)
+    for _ in range(40):
+        moved = propose_neighbor(case, rng, "a", max_a=3)
+        assert 1 <= moved.a <= 3
+        case = moved
+
+
+def test_propose_neighbor_trees_move_to_a_different_kind():
+    rng = random.Random(6)
+    case = sample_case(4, 2)
+    for axis in ("low_tree", "high_tree"):
+        for _ in range(20):
+            moved = propose_neighbor(case, rng, axis)
+            assert getattr(moved, axis) != getattr(case, axis)
+            assert getattr(moved, axis) in TREES
+
+
+def test_propose_neighbor_rejects_unknown_axis():
+    with pytest.raises(ValueError, match="unknown neighbor axis"):
+        propose_neighbor(sample_case(0, 0), random.Random(0), "priority")
+
+
+def test_proposed_neighbors_stay_legal():
+    # every proposal must survive the same construction paths the
+    # sampled cases do: config(), layout(), machine(), describe()
+    rng = random.Random(8)
+    case = sample_case(0, 5)
+    for _ in range(200):
+        case = propose_neighbor(case, rng, fixed_machine=True)
+        case.config()
+        case.layout()
+        case.machine()
+        assert case.a >= 1 and case.p >= 1 and case.q >= 1
