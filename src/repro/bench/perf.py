@@ -88,13 +88,13 @@ def _time_stages(
             res = setup.simulator().run_reference(graph)
         else:
             from repro.dag.compiled import compiled_from_eliminations
-            from repro.runtime.compiled import simulate_compiled
+            from repro.runtime.core import run_core
 
             cg = compiled_from_eliminations(
                 elims, m, n, setup.layout, setup.machine, setup.b
             )
             t2 = time.perf_counter()
-            res = simulate_compiled(cg, setup.machine, setup.b)
+            res = run_core(cg, setup.machine, setup.b).result
         t3 = time.perf_counter()
         elim_s += t1 - t0
         build_s += t2 - t1
@@ -202,7 +202,7 @@ def bench_report(
 
     if batch:
         from repro._ccore import openmp_available
-        from repro.runtime.compiled import sim_threads
+        from repro.runtime.core import sim_threads
 
         t0 = time.perf_counter()
         batched = run_config_sweep(points, setup, workers=workers, batch=True)

@@ -102,17 +102,17 @@ def run_eliminations(
     ``REPRO_SIM_CORE=reference``.
     """
     setup = setup or BenchSetup()
-    from repro.runtime.compiled import core_mode
+    from repro.runtime.core import core_mode
 
     if core_mode() == "reference":
         graph = TaskGraph.from_eliminations(elims, m, n)
         return setup.simulator(layout).run(graph)
     from repro.dag.compiled import compiled_from_eliminations
-    from repro.runtime.compiled import simulate_compiled
+    from repro.runtime.core import run_core
 
     lay = layout if layout is not None else setup.layout
     cg = compiled_from_eliminations(elims, m, n, lay, setup.machine, setup.b)
-    return simulate_compiled(cg, setup.machine, setup.b)
+    return run_core(cg, setup.machine, setup.b).result
 
 
 def compiled_graph_for(
@@ -163,18 +163,18 @@ def run_config(
     config (the explorer, repeated figure runs) skip DAG construction.
     """
     setup = setup or BenchSetup()
-    from repro.runtime.compiled import core_mode
+    from repro.runtime.core import core_mode
 
     if core_mode() == "reference":
         return run_eliminations(
             hqr_elimination_list(m, n, config), m, n, setup=setup, layout=layout
         )
-    from repro.runtime.compiled import simulate_compiled
+    from repro.runtime.core import run_core
 
     lay = layout if layout is not None else setup.layout
     cg = compiled_graph_for(m, n, config, lay, setup.machine, setup.b)
     with stage("simulate"):
-        return simulate_compiled(cg, setup.machine, setup.b)
+        return run_core(cg, setup.machine, setup.b).result
 
 
 def _run_point(item) -> SimulationResult:
@@ -199,11 +199,11 @@ def _sim_arena_point(item) -> SimulationResult:
     """Simulate one point against the attached shared-memory arena."""
     handle, index, machine, b = item
     from repro.bench.shm import attach
-    from repro.runtime.compiled import simulate_compiled
+    from repro.runtime.core import run_core
 
     cg = attach(handle)[index]
     with stage("simulate"):
-        return simulate_compiled(cg, machine, b)
+        return run_core(cg, machine, b).result
 
 
 def batch_default() -> bool:
@@ -236,7 +236,7 @@ def run_config_sweep(
     The reference engine (``REPRO_SIM_CORE=reference``) always uses the
     legacy per-point path — there is no compiled graph to share.
     """
-    from repro.runtime.compiled import core_mode
+    from repro.runtime.core import core_mode
 
     setup = setup or BenchSetup()
     if batch is None:
@@ -251,10 +251,7 @@ def _sweep_batched(points, setup, workers) -> list[SimulationResult]:
     from repro.bench.parallel import default_workers, log_transport
     from repro.dag.cache import default_cache, fingerprint
     from repro.obs.events import active as _obs_active
-    from repro.runtime.compiled import (
-        _pick_engine,
-        simulate_compiled_batch,
-    )
+    from repro.runtime.core import _pick_engine, run_core_batch
     from repro.runtime.incremental import run_sweep_incremental
 
     machine, b = setup.machine, setup.b
@@ -294,7 +291,7 @@ def _sweep_batched(points, setup, workers) -> list[SimulationResult]:
     # -- dispatch ------------------------------------------------------ #
     if c_lib is not None:
         log_transport("batched-c", workers=1, points=len(points))
-        return simulate_compiled_batch(graphs, machine, b)
+        return run_core_batch(graphs, machine, b)
 
     if eff_workers > 1 and len(points) > 1:
         from concurrent.futures import BrokenExecutor
@@ -313,7 +310,7 @@ def _sweep_batched(points, setup, workers) -> list[SimulationResult]:
             except (OSError, BrokenExecutor):  # pragma: no cover
                 pass  # fall through to the serial path below
     log_transport("serial", workers=1, points=len(points))
-    from repro.runtime.compiled import simulate_compiled
+    from repro.runtime.core import run_core
 
     with stage("dispatch_compute"):
-        return [simulate_compiled(cg, machine, b) for cg in graphs]
+        return [run_core(cg, machine, b).result for cg in graphs]

@@ -23,9 +23,38 @@ tune       seeded simulated-annealing autotuner over the HQR design space
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
 
 import numpy as np
+
+
+@contextlib.contextmanager
+def _scoped_env(**overrides):
+    """Set environment variables for the body and restore them on exit.
+
+    ``None`` values request no override and are skipped.  Restoration
+    runs on the normal path *and* when the body raises, and it
+    distinguishes "was unset" (the variable is deleted) from "was set"
+    (the previous value is put back) — the invariant every ``--scale``/
+    ``--engine`` CLI override relies on, stated exactly once instead of
+    hand-rolled per command.
+    """
+    applied = {
+        k: os.environ.get(k) for k, v in overrides.items() if v is not None
+    }
+    for k, v in overrides.items():
+        if v is not None:
+            os.environ[k] = v
+    try:
+        yield
+    finally:
+        for k, prev in applied.items():
+            if prev is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = prev
 
 
 def _add_config_args(p: argparse.ArgumentParser) -> None:
@@ -210,8 +239,6 @@ def cmd_gantt(args) -> int:
 
 
 def cmd_faults(args) -> int:
-    import os
-
     from repro.resilience.bench import (
         format_resilience_report,
         report_ok,
@@ -219,21 +246,12 @@ def cmd_faults(args) -> int:
         write_resilience_report,
     )
 
-    saved = os.environ.get("REPRO_BENCH_SCALE")
-    if args.scale:
-        os.environ["REPRO_BENCH_SCALE"] = args.scale
-    try:
+    with _scoped_env(REPRO_BENCH_SCALE=args.scale or None):
         report = resilience_report(
             scenarios=args.scenario or None,
             seed=args.seed,
             with_distributed_check=not args.no_engine_check,
         )
-    finally:
-        if args.scale:
-            if saved is None:
-                os.environ.pop("REPRO_BENCH_SCALE", None)
-            else:
-                os.environ["REPRO_BENCH_SCALE"] = saved
     print(format_resilience_report(report))
     if args.json:
         write_resilience_report(report, args.json)
@@ -351,8 +369,6 @@ def cmd_replay(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    import os
-
     if args.bench:
         from repro.serve.bench import (
             format_serve_report,
@@ -360,22 +376,13 @@ def cmd_serve(args) -> int:
             write_serve_report,
         )
 
-        saved = os.environ.get("REPRO_BENCH_SCALE")
-        if args.scale:
-            os.environ["REPRO_BENCH_SCALE"] = args.scale
-        try:
+        with _scoped_env(REPRO_BENCH_SCALE=args.scale or None):
             report = serve_bench(
                 seed=args.seed,
                 capacity=args.capacity,
                 util=args.util,
                 skip_live=args.skip_live,
             )
-        finally:
-            if args.scale:
-                if saved is None:
-                    os.environ.pop("REPRO_BENCH_SCALE", None)
-                else:
-                    os.environ["REPRO_BENCH_SCALE"] = saved
         print(format_serve_report(report))
         if args.json:
             write_serve_report(report, args.json)
@@ -427,8 +434,6 @@ def cmd_auto(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    import os
-
     from repro.bench.perf import (
         bench_report,
         check_regression,
@@ -436,30 +441,16 @@ def cmd_bench(args) -> int:
         write_report,
     )
 
-    saved = os.environ.get("REPRO_BENCH_SCALE")
-    saved_core = os.environ.get("REPRO_SIM_CORE")
-    if args.scale:
-        os.environ["REPRO_BENCH_SCALE"] = args.scale
-    if args.engine:
-        # the env var reaches pool workers too, unlike a parameter
-        os.environ["REPRO_SIM_CORE"] = args.engine
-    try:
+    # the env vars reach pool workers too, unlike parameters
+    with _scoped_env(
+        REPRO_BENCH_SCALE=args.scale or None,
+        REPRO_SIM_CORE=args.engine or None,
+    ):
         report = bench_report(
             skip_reference=args.skip_reference,
             workers=args.workers,
             batch=args.batch,
         )
-    finally:
-        if args.scale:
-            if saved is None:
-                os.environ.pop("REPRO_BENCH_SCALE", None)
-            else:
-                os.environ["REPRO_BENCH_SCALE"] = saved
-        if args.engine:
-            if saved_core is None:
-                os.environ.pop("REPRO_SIM_CORE", None)
-            else:
-                os.environ["REPRO_SIM_CORE"] = saved_core
     print(format_report(report))
     if args.json:
         write_report(report, args.json)
@@ -644,7 +635,6 @@ def _tune_report(args, annealer, result, machine) -> None:
 
 def cmd_tune(args) -> int:
     import json
-    import os
     import signal
 
     if args.bench:
@@ -658,10 +648,7 @@ def cmd_tune(args) -> int:
             write_report,
         )
 
-        saved = os.environ.get("REPRO_BENCH_SCALE")
-        if args.scale:
-            os.environ["REPRO_BENCH_SCALE"] = args.scale
-        try:
+        with _scoped_env(REPRO_BENCH_SCALE=args.scale or None):
             out_dir = args.out or tempfile.mkdtemp(prefix="repro-tune-bench-")
             report = tune_bench(
                 out_dir,
@@ -671,12 +658,6 @@ def cmd_tune(args) -> int:
                 ),
                 workers=args.workers,
             )
-        finally:
-            if args.scale:
-                if saved is None:
-                    os.environ.pop("REPRO_BENCH_SCALE", None)
-                else:
-                    os.environ["REPRO_BENCH_SCALE"] = saved
         print(format_report(report))
         if args.json:
             write_report(report, args.json)

@@ -1,11 +1,16 @@
 """Failure-aware simulation: crashes, stragglers, and lost messages.
 
 :class:`ResilientSimulator` extends the fault-free
-:class:`~repro.runtime.simulator.ClusterSimulator` with a fault-injecting
-event loop.  With an empty :class:`~repro.resilience.faults.FaultSchedule`
-it delegates to the ordinary engines and is bit-identical to them; with
-faults attached it runs its own (pure-Python, engine-independent) loop so
-that injected events and the recovery schedule are reproducible anywhere.
+:class:`~repro.runtime.simulator.ClusterSimulator` with fault injection.
+With an empty :class:`~repro.resilience.faults.FaultSchedule` it
+delegates to the ordinary dispatch and is bit-identical to it; with
+faults attached (or ``force_fault_loop=True``) it runs the unified
+core's fault branch (:func:`repro.runtime.core.run_core` with
+:class:`~repro.runtime.core.FaultHooks`) — pure Python and
+engine-independent, so injected events and the recovery schedule are
+reproducible anywhere.  This module is the thin front end: it owns the
+recovery *policy* (re-planning targets, slowdown pre-seeding, result
+wrapping) while the event-loop *mechanism* lives in the core.
 
 Crash semantics (the recovery model, documented for `docs/distributed.md`):
 
@@ -39,16 +44,14 @@ which is fine at recovery-benchmark scale.
 
 from __future__ import annotations
 
-import heapq
 import time
 from dataclasses import dataclass, field
 
 from repro.dag.graph import TaskGraph
-from repro.kernels.weights import KernelKind
 from repro.obs.events import active as _obs_active
 from repro.resilience.faults import FaultSchedule
 from repro.resilience.replan import node_remap, shrunken_grid
-from repro.runtime.simulator import ClusterSimulator, SimulationResult, qr_flops
+from repro.runtime.simulator import ClusterSimulator, SimulationResult
 from repro.tiles.layout import BlockCyclic2D
 
 
@@ -146,9 +149,16 @@ class ResilientSimulator(ClusterSimulator):
         N: int | None,
         baseline_makespan: float,
     ) -> FaultyRunResult:
+        """Compile the graph and run the unified core with fault hooks.
+
+        The failure-aware event loop itself lives in
+        :func:`repro.runtime.core.run_core` (the ``fault`` capability
+        branch); this front end supplies the schedule, the re-planning
+        callback, and the pre-seeded slowdown events, then wraps the
+        outcome in a :class:`FaultyRunResult`.
+        """
         machine, b = self.machine, self.b
         rec = _obs_active()
-        observe = rec is not None and rec.want_tasks
         wall0 = time.perf_counter() if rec is not None else 0.0
         M = graph.m * b if M is None else M
         N = graph.n * b if N is None else N
@@ -171,313 +181,24 @@ class ResilientSimulator(ClusterSimulator):
                 fault_events=fault_events,
             )
 
-        node_of = list(self.placement(graph))
-        seconds = {k: machine.task_seconds(k, b) for k in KernelKind}
-        durations = [seconds[t.kind] for t in graph.tasks]
-        prio = self.priority_values(graph)
-        if prio is None:
-            prio = list(range(ntasks))
+        from repro.dag.compiled import compile_graph
+        from repro.runtime.core import FaultHooks, run_core
 
-        preds, succs = graph.predecessors, graph.successors
-        waiting = [len(p) for p in preds]
-        data_ready = [0.0] * ntasks
-        free_cores = [machine.cores_per_node] * machine.nodes
-        ready_heaps: list[list] = [[] for _ in range(machine.nodes)]
-        chan_free = [0.0] * machine.nodes
-        tile_bytes = machine.tile_bytes(b)
-        serialized = machine.comm_serialized
-        hierarchical = machine.site_size > 0
-        inf = float("inf")
-        bw_time = tile_bytes / machine.bandwidth if machine.bandwidth != inf else 0.0
-        latency = machine.latency
-
-        sent: dict[tuple[int, int], float] = {}  # (producer, dest) -> arrival
-        sat: set[tuple[int, int]] = set()  # satisfied (producer, consumer) edges
-        # events: (time, kind, a, gen); kinds: 0 finish, 1 data arrival, 2 crash
-        events: list[tuple[float, int, int, int]] = []
-        NEW, QUEUED, LAUNCHED = 0, 1, 2
-        state = bytearray(ntasks)
-        finished = bytearray(ntasks)
-        exec_node = [-1] * ntasks  # node that ran the (last) finished execution
-        gen = [0] * ntasks  # invalidates stale finish/arrival events
-        start_of = [0.0] * ntasks
-        cur_dur = [0.0] * ntasks
-        dead: set[int] = set()
-        data_reuse = self.data_reuse
-        messages = refetches = dropped = retransmits = 0
-        executions = aborted = 0
-        msg_index = 0
-        busy = wasted = 0.0
-        finish_time = 0.0
-        trace: list[tuple[int, int, float, float]] | None = (
-            [] if self.record_trace else None
+        cg = compile_graph(graph, self.layout, machine, b)
+        hooks = FaultHooks(
+            schedule=schedule,
+            replan=lambda dead: self._replan_targets(graph, dead),
+            fault_events=fault_events,
         )
-
-        def link(src: int, dst: int) -> tuple[float, float]:
-            if hierarchical:
-                lat, bw = machine.link(src, dst)
-                return lat, tile_bytes / bw
-            return latency, bw_time
-
-        def try_start(t: int, now: float) -> None:
-            node = node_of[t]
-            start = max(now, data_ready[t])
-            if free_cores[node] > 0:
-                free_cores[node] -= 1
-                _launch(t, start)
-            else:
-                state[t] = QUEUED
-                heapq.heappush(ready_heaps[node], (prio[t], t))
-
-        def _launch(t: int, start: float) -> None:
-            nonlocal busy, finish_time
-            state[t] = LAUNCHED
-            d = durations[t] * schedule.slowdown_factor(node_of[t], start)
-            start_of[t] = start
-            cur_dur[t] = d
-            # account busy at launch, in launch order — the same summation
-            # order as the fault-free engines, so an empty schedule stays
-            # bit-identical; aborts subtract the full duration back out
-            busy += d
-            end = start + d
-            heapq.heappush(events, (end, 0, t, gen[t]))
-
-        def _pop_next(node: int) -> int | None:
-            heap = ready_heaps[node]
-            while heap:
-                _, t = heapq.heappop(heap)
-                if state[t] == QUEUED:
-                    return t
-            return None
-
-        def transfer(
-            src: int, dst: int, now: float, *, droppable: bool, producer: int = -1
-        ) -> float:
-            """Arrival time of one tile src -> dst departing at ``now``."""
-            nonlocal messages, dropped, retransmits, msg_index
-            lat, bwt = link(src, dst)
-            if serialized:
-                depart = max(now, chan_free[src], chan_free[dst])
-                chan_free[src] = depart + bwt
-                chan_free[dst] = depart + bwt
-            else:
-                depart = now
-            arrival = depart + lat + bwt
-            messages += 1
-            if observe:
-                rec.comm(producer, src, dst, depart, arrival, tile_bytes)
-            if droppable:
-                idx = msg_index
-                msg_index += 1
-                if schedule.drops_message(idx):
-                    # lost on the wire: NACK after the timeout, send again
-                    dropped += 1
-                    retransmits += 1
-                    messages += 1
-                    arrival += schedule.retransmit_timeout + lat + bwt
-                    fault_events.append(
-                        {"type": "drop", "time": depart, "src": src, "dst": dst}
-                    )
-            return arrival
-
-        def handle_crash(n: int, tc: float) -> None:
-            """Abort, compute the recovery cone, re-plan, and rebuild."""
-            nonlocal aborted, busy, wasted, refetches, messages
-            dead.add(n)
-            recovery = tc + schedule.detection_latency
-            fault_events.append({"type": "crash", "time": tc, "node": n})
-
-            n_aborted = 0
-            for t in range(ntasks):
-                if state[t] == LAUNCHED and not finished[t] and node_of[t] == n:
-                    state[t] = NEW
-                    gen[t] += 1
-                    busy -= cur_dur[t]  # aborted work is wasted, not busy
-                    wasted += tc - start_of[t]
-                    n_aborted += 1
-            aborted += n_aborted
-
-            # re-plan every pending task off the dead nodes
-            targets = self._replan_targets(graph, dead)
-            touched = set()  # tasks that may not restart before detection
-            for t in range(ntasks):
-                if not finished[t] and node_of[t] in dead:
-                    node_of[t] = targets[t]
-                    touched.add(t)
-
-            # deliveries to dead nodes and transfers in flight from a dead
-            # sender are lost
-            for key in [
-                k
-                for k, a in sent.items()
-                if k[1] in dead or (a > tc and exec_node[k[0]] in dead)
-            ]:
-                del sent[key]
-            # surviving replica locations: node the producer ran on (if
-            # alive) plus every alive node a copy had arrived at by tc
-            replicas: dict[int, int] = {}
-            for (p, d), a in sent.items():
-                if a <= tc and (p not in replicas or d < replicas[p]):
-                    replicas[p] = d
-            for p in range(ntasks):
-                if finished[p] and exec_node[p] not in dead:
-                    replicas[p] = exec_node[p]
-
-            # recovery cone: lost outputs transitively needed by pending work
-            n_redo = 0
-            stack = [t for t in range(ntasks) if not finished[t]]
-            while stack:
-                t = stack.pop()
-                for p in preds[t]:
-                    if finished[p] and p not in replicas:
-                        finished[p] = 0
-                        state[p] = NEW
-                        gen[p] += 1
-                        n_redo += 1
-                        touched.add(p)
-                        if node_of[p] in dead:
-                            node_of[p] = targets[p]
-                        stack.append(p)
-            fault_events.append(
-                {
-                    "type": "recovery",
-                    "time": recovery,
-                    "node": n,
-                    "reexecuted": n_redo,
-                    "aborted": n_aborted,
-                }
-            )
-
-            # rebuild scheduler state: per-edge satisfaction, data arrival
-            # floors, ready queues, core counts
-            for heap in ready_heaps:
-                heap.clear()
-            for nd in range(machine.nodes):
-                if nd in dead:
-                    free_cores[nd] = 0
-                else:
-                    running = sum(
-                        1
-                        for t in range(ntasks)
-                        if state[t] == LAUNCHED
-                        and not finished[t]
-                        and node_of[t] == nd
-                    )
-                    free_cores[nd] = machine.cores_per_node - running
-            seeds = []
-            for t in range(ntasks):
-                if finished[t] or state[t] == LAUNCHED:
-                    continue
-                state[t] = NEW
-                w = 0
-                dr = recovery if t in touched else 0.0
-                for p in preds[t]:
-                    if not finished[p]:
-                        sat.discard((p, t))
-                        w += 1
-                        continue
-                    dst = node_of[t]
-                    if exec_node[p] == dst:
-                        sat.add((p, t))
-                        continue
-                    a = sent.get((p, dst))
-                    if a is None:
-                        # re-fetch from a surviving replica after detection
-                        lat, bwt = link(replicas[p], dst)
-                        a = recovery + lat + bwt
-                        sent[(p, dst)] = a
-                        refetches += 1
-                        messages += 1
-                        if observe:
-                            rec.comm(p, replicas[p], dst, recovery, a, tile_bytes)
-                    sat.add((p, t))
-                    if a > dr:
-                        dr = a
-                waiting[t] = w
-                data_ready[t] = dr
-                if w == 0:
-                    seeds.append(t)
-            for t in seeds:
-                if data_ready[t] <= tc:
-                    try_start(t, tc)
-                else:
-                    heapq.heappush(events, (data_ready[t], 1, t, gen[t]))
-
-        # seed roots and crash events
-        for t in range(ntasks):
-            if waiting[t] == 0:
-                try_start(t, 0.0)
-        for ci, c in enumerate(schedule.crashes):
-            heapq.heappush(events, (c.time, 2, ci, 0))
-
-        while events:
-            now, kind, a, g = heapq.heappop(events)
-            if kind == 2:
-                handle_crash(schedule.crashes[a].node, now)
-                continue
-            if kind == 1:
-                if gen[a] == g and state[a] == NEW and waiting[a] == 0:
-                    try_start(a, now)
-                continue
-            # task finish
-            t = a
-            if gen[t] != g:  # aborted execution
-                continue
-            node = node_of[t]
-            finished[t] = 1
-            exec_node[t] = node
-            executions += 1
-            if now > finish_time:
-                finish_time = now
-            if trace is not None:
-                trace.append((t, node, start_of[t], now))
-            if observe:
-                rec.task(t, node, start_of[t], now)
-            nxt = None
-            if data_reuse:
-                best = None
-                for s in succs[t]:
-                    if (
-                        state[s] == QUEUED
-                        and node_of[s] == node
-                        and data_ready[s] <= now
-                        and (best is None or prio[s] < prio[best])
-                    ):
-                        best = s
-                nxt = best
-            if nxt is None:
-                nxt = _pop_next(node)
-            if nxt is not None:
-                _launch(nxt, max(now, data_ready[nxt]))
-            else:
-                free_cores[node] += 1
-            for s in succs[t]:
-                if finished[s] or (t, s) in sat:
-                    continue
-                dest = node_of[s]
-                if dest == node:
-                    arrival = now
-                else:
-                    key = (t, dest)
-                    arrival = sent.get(key, -1.0)
-                    if arrival < 0:
-                        arrival = transfer(node, dest, now, droppable=True, producer=t)
-                        sent[key] = arrival
-                sat.add((t, s))
-                if arrival > data_ready[s]:
-                    data_ready[s] = arrival
-                waiting[s] -= 1
-                if waiting[s] == 0:
-                    avail = data_ready[s]
-                    if avail <= now:
-                        try_start(s, now)
-                    else:
-                        heapq.heappush(events, (avail, 1, s, gen[s]))
-
-        if not all(finished):  # pragma: no cover - recovery bug guard
-            raise RuntimeError(
-                f"fault simulation stalled: {ntasks - sum(finished)} tasks unfinished"
-            )
+        out = run_core(
+            cg, machine, b,
+            prio=self.priority_values(graph),
+            data_reuse=self.data_reuse,
+            M=M, N=N,
+            record_trace=self.record_trace,
+            fault=hooks,
+        )
+        res, fo = out.result, out.fault
 
         if rec is not None:
             for ev in fault_events:
@@ -486,29 +207,29 @@ class ResilientSimulator(ClusterSimulator):
                 engine="resilient",
                 loop="cluster",
                 wall_s=time.perf_counter() - wall0,
-                makespan=finish_time,
-                busy_seconds=busy,
-                messages=messages,
+                makespan=res.makespan,
+                busy_seconds=res.busy_seconds,
+                messages=res.messages,
                 ntasks=ntasks,
                 crashes=len(schedule.crashes),
-                reexecuted=executions - ntasks,
+                reexecuted=fo.executions - ntasks,
             )
         return FaultyRunResult(
-            makespan=finish_time,
-            flops=qr_flops(M, N),
-            messages=messages,
-            bytes_sent=messages * tile_bytes,
-            busy_seconds=busy,
-            cores=machine.cores,
-            trace=trace,
+            makespan=res.makespan,
+            flops=res.flops,
+            messages=res.messages,
+            bytes_sent=res.bytes_sent,
+            busy_seconds=res.busy_seconds,
+            cores=res.cores,
+            trace=res.trace,
             baseline_makespan=baseline_makespan,
-            tasks_reexecuted=executions - ntasks,
-            tasks_aborted=aborted,
-            wasted_seconds=wasted,
-            refetch_messages=refetches,
-            messages_dropped=dropped,
-            retransmits=retransmits,
-            crashed_nodes=tuple(sorted(dead)),
+            tasks_reexecuted=fo.executions - ntasks,
+            tasks_aborted=fo.aborted,
+            wasted_seconds=fo.wasted,
+            refetch_messages=fo.refetches,
+            messages_dropped=fo.dropped,
+            retransmits=fo.retransmits,
+            crashed_nodes=fo.dead,
             fault_events=sorted(
                 fault_events, key=lambda e: e.get("time", e.get("start", 0.0))
             ),

@@ -73,7 +73,8 @@ class AcceleratedSimulator:
     def run(self, graph: TaskGraph) -> SimulationResult:
         """Simulate; dispatches to the compiled array core (bit-identical)
         unless ``REPRO_SIM_CORE=reference``."""
-        from repro.runtime.compiled import core_mode, simulate_compiled_acc
+        from repro.runtime.compiled import simulate_compiled_acc
+        from repro.runtime.core import core_mode
 
         if core_mode() != "reference":
             from repro.dag.compiled import compile_graph

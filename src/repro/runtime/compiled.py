@@ -1,50 +1,54 @@
-"""Compiled event-loop core — the simulators' fast path.
+"""Compiled-graph front end over the unified event-loop core.
 
-Replays a :class:`~repro.dag.compiled.CompiledGraph` through the same
-discrete-event algorithm as :meth:`ClusterSimulator.run_reference` /
-:meth:`AcceleratedSimulator.run_reference`, but operating only on flat
-arrays and scalar ints:
+Historically this module carried its own copies of the cluster event
+loop (pure-Python and native-C); those now live — stated exactly once —
+in :mod:`repro.runtime.core`.  What remains here:
 
-* events are ``(time, code)`` pairs where the integer code encodes both
-  the event kind and the task id (codes are unique, so heap order is the
-  key total order — identical to the reference's tuple heap);
-* ready queues hold dense priority *ranks* (the rank permutation sorts
-  ``(priority, task id)``, so rank order reproduces the reference's
-  ``(prio, id)`` tie-breaking exactly);
-* the reference's ``sent`` dict becomes a precomputed message-slot array
-  (one slot per distinct cross-node (producer, destination) pair).
+* :func:`simulate_compiled` / :func:`simulate_compiled_batch` — thin
+  adapters that run a :class:`~repro.dag.compiled.CompiledGraph` through
+  :func:`~repro.runtime.core.run_core` /
+  :func:`~repro.runtime.core.run_core_batch` and return
+  :class:`~repro.runtime.simulator.SimulationResult` objects (the
+  historical public API, kept for callers and tests);
+* the accelerated-cluster loop (:func:`simulate_compiled_acc`), which
+  schedules over per-node CPU cores *and* accelerators — a different
+  resource model that does not fold into the cluster core;
+* back-compat re-exports of the engine-selection helpers
+  (:func:`core_mode`, :func:`sim_threads`, :func:`priority_ranks`,
+  ``_pick_engine``) whose canonical home is now the core.
 
-Two interchangeable engines run this loop: a native C core
-(:mod:`repro._ccore`, built on demand with the system compiler) and a
-pure-Python fallback.  Both are bit-identical to the reference
-simulators — asserted by the equivalence suite in
-``tests/runtime/test_compiled_equivalence.py``.
-
-``REPRO_SIM_CORE`` selects the engine: ``auto`` (default: C when
+``REPRO_SIM_CORE`` selects the inner loop: ``auto`` (default: C when
 available, else Python), ``c``, ``python``, or ``reference`` (bypass the
-compiled path entirely).
+compiled path entirely — honored by the simulator front ends).
 """
 
 from __future__ import annotations
 
 import ctypes
 import heapq
-import os
 import time
 
 import numpy as np
 
-from repro import _ccore
 from repro.dag.compiled import KIND_ORDER, CompiledGraph
 from repro.obs.events import active as _obs_active
-from repro.obs.profile import stage
 from repro.runtime.accelerated import ACC_KERNELS
+from repro.runtime.core import (  # noqa: F401  (re-exported API)
+    _pick_engine,
+    _ptr,
+    core_mode,
+    priority_ranks,
+    run_core,
+    run_core_batch,
+    sim_threads,
+)
 from repro.runtime.machine import Machine
 from repro.runtime.simulator import SimulationResult, qr_flops
 
 __all__ = [
     "acc_duration_table",
     "core_mode",
+    "priority_ranks",
     "sim_threads",
     "simulate_compiled",
     "simulate_compiled_acc",
@@ -76,82 +80,8 @@ def acc_duration_table(acc_machine, b: int) -> tuple[np.ndarray, np.ndarray]:
     return table, elig
 
 
-def core_mode() -> str:
-    """Engine selection from ``REPRO_SIM_CORE`` (auto/c/python/reference)."""
-    mode = os.environ.get("REPRO_SIM_CORE", "auto").lower()
-    if mode not in ("auto", "c", "python", "reference"):
-        raise ValueError(
-            f"REPRO_SIM_CORE must be auto/c/python/reference, got {mode!r}"
-        )
-    return mode
-
-
-def sim_threads() -> int:
-    """OpenMP thread count for batched dispatch (``REPRO_SIM_THREADS``).
-
-    0 (the default) lets the OpenMP runtime pick; the result only affects
-    wall time — batch points are independent, so any thread count is
-    bit-identical.
-    """
-    env = os.environ.get("REPRO_SIM_THREADS")
-    if not env:
-        return 0
-    try:
-        return max(0, int(env))
-    except ValueError:
-        raise ValueError(
-            f"REPRO_SIM_THREADS must be an integer, got {env!r}"
-        ) from None
-
-
-def priority_ranks(prio, ntasks: int) -> tuple[np.ndarray, np.ndarray]:
-    """Dense rank permutation of a priority vector.
-
-    Returns ``(rank, task_of_rank)`` with ``rank[t]`` unique and ordered
-    exactly like the reference scheduler's ``(prio[t], t)`` keys; ``None``
-    means program order (identity).
-    """
-    if prio is None:
-        ident = np.arange(ntasks, dtype=np.int32)
-        return ident, ident
-    arr = None
-    try:
-        cand = np.asarray(prio)
-        if cand.shape == (ntasks,) and cand.dtype.kind in "iuf":
-            arr = cand
-    except (ValueError, TypeError):  # ragged / non-numeric priorities
-        arr = None
-    if arr is not None:
-        order = np.lexsort((np.arange(ntasks), arr)).astype(np.int32)
-    else:
-        order = np.array(
-            sorted(range(ntasks), key=lambda t: (prio[t], t)), dtype=np.int32
-        )
-    rank = np.empty(ntasks, dtype=np.int32)
-    rank[order] = np.arange(ntasks, dtype=np.int32)
-    return rank, order
-
-
-def _pick_engine(core: str | None):
-    """Resolve the engine: returns the C library or None for Python."""
-    mode = core or core_mode()
-    if mode == "python":
-        return None
-    lib = _ccore.get_lib()
-    if mode == "c" and lib is None:
-        raise RuntimeError(
-            "REPRO_SIM_CORE=c but the native core is unavailable "
-            "(no C compiler found)"
-        )
-    return lib
-
-
-def _ptr(arr: np.ndarray, typ):
-    return arr.ctypes.data_as(ctypes.POINTER(typ))
-
-
 # --------------------------------------------------------------------- #
-# cluster loop
+# cluster loop (unified core front end)
 # --------------------------------------------------------------------- #
 def simulate_compiled(
     cg: CompiledGraph,
@@ -169,266 +99,12 @@ def simulate_compiled(
     Bit-identical to ``ClusterSimulator.run_reference`` for the same
     machine/layout/priority/data-reuse settings (without trace recording).
     """
-    M = cg.m * b if M is None else M
-    N = cg.n * b if N is None else N
-    ntasks = cg.ntasks
-    tile_bytes = machine.tile_bytes(b)
-    rec = _obs_active()
-    wall0 = time.perf_counter() if rec is not None else 0.0
-    if ntasks == 0:
-        return SimulationResult(0.0, 0.0, 0, 0, 0.0, machine.cores, None)
-
-    dur = np.ascontiguousarray(cg.dur_table[cg.kind])
-    waiting = np.ascontiguousarray(cg.pred_counts)
-    rank, task_of_rank = priority_ranks(prio, ntasks)
-    nnodes = machine.nodes
-    hierarchical = machine.site_size > 0
-    inf = float("inf")
-    bwt_intra = tile_bytes / machine.bandwidth if machine.bandwidth != inf else 0.0
-    bwt_inter = (
-        tile_bytes / machine.inter_site_bandwidth if hierarchical else 0.0
-    )
-    site_of = (
-        np.arange(nnodes, dtype=np.int32) // machine.site_size
-        if hierarchical
-        else np.zeros(nnodes, dtype=np.int32)
-    )
-
-    lib = _pick_engine(core)
-    if lib is not None and rec is not None and rec.want_tasks:
-        # per-task/per-message detail needs Python callbacks, which the
-        # native core cannot make — run the bit-identical Python loop
-        rec.note("engine_fallback", reason="task-level recording", frm="c")
-        lib = None
-    args = (
-        ntasks,
-        nnodes,
-        machine.cores_per_node,
-        dur,
-        cg.node,
-        waiting,
-        cg.succ_ptr,
-        cg.succ_idx,
-        cg.edge_slot,
-        cg.nslots,
-        rank,
-        task_of_rank,
-        machine.comm_serialized,
-        hierarchical,
-        machine.latency,
-        bwt_intra,
-        machine.inter_site_latency,
-        bwt_inter,
-        site_of,
-        data_reuse,
-    )
-    engine = "c"
-    if lib is not None:
-        result = _c_cluster(lib, *args)
-    else:
-        result = None
-    if result is None:
-        engine = "python"
-        result = _py_cluster(*args, rec=rec, nbytes=tile_bytes)
-    makespan, busy, messages = result
-    if rec is not None:
-        rec.run(
-            engine=engine,
-            loop="cluster",
-            wall_s=time.perf_counter() - wall0,
-            makespan=makespan,
-            busy_seconds=busy,
-            messages=messages,
-            ntasks=ntasks,
-        )
-    return SimulationResult(
-        makespan=makespan,
-        flops=qr_flops(M, N),
-        messages=messages,
-        bytes_sent=messages * tile_bytes,
-        busy_seconds=busy,
-        cores=machine.cores,
-        trace=None,
-    )
+    return run_core(
+        cg, machine, b,
+        prio=prio, data_reuse=data_reuse, M=M, N=N, core=core,
+    ).result
 
 
-def _c_cluster(
-    lib, ntasks, nnodes, cores_per_node, dur, node, waiting,
-    succ_ptr, succ_idx, edge_slot, nslots, rank, task_of_rank,
-    serialized, hierarchical, lat_intra, bwt_intra, lat_inter, bwt_inter,
-    site_of, data_reuse,
-):
-    i32, i64, f64 = ctypes.c_int32, ctypes.c_int64, ctypes.c_double
-    out_mk, out_busy = f64(0.0), f64(0.0)
-    out_msgs = i64(0)
-    rc = lib.hqr_simulate_cluster(
-        i64(ntasks), i32(nnodes), i32(cores_per_node),
-        _ptr(dur, f64), _ptr(node, i32), _ptr(waiting, i32),
-        _ptr(succ_ptr, i64), _ptr(succ_idx, i32),
-        _ptr(edge_slot, i32), i64(nslots),
-        _ptr(rank, i32), _ptr(task_of_rank, i32),
-        i32(1 if serialized else 0), i32(1 if hierarchical else 0),
-        f64(lat_intra), f64(bwt_intra), f64(lat_inter), f64(bwt_inter),
-        _ptr(site_of, i32), i32(1 if data_reuse else 0),
-        ctypes.byref(out_mk), ctypes.byref(out_busy), ctypes.byref(out_msgs),
-    )
-    if rc == 1:  # pragma: no cover - cycle guard
-        raise RuntimeError("simulation stalled with unfinished tasks")
-    if rc != 0:  # pragma: no cover - allocation failure: retry in Python
-        return None
-    return out_mk.value, out_busy.value, out_msgs.value
-
-
-def _py_cluster(
-    ntasks, nnodes, cores_per_node, dur, node, waiting,
-    succ_ptr, succ_idx, edge_slot, nslots, rank, task_of_rank,
-    serialized, hierarchical, lat_intra, bwt_intra, lat_inter, bwt_inter,
-    site_of, data_reuse,
-    *, rec=None, nbytes=0,
-):
-    """Pure-Python flat-array event loop (engine of last resort).
-
-    ``rec`` (a :class:`~repro.obs.events.Recorder` at ``tasks`` level)
-    receives task spans, messages, and queue depths; the emission sites
-    are pure appends behind ``observe`` checks, so the schedule and all
-    arithmetic are identical with or without a recorder.
-    """
-    observe = rec is not None and rec.want_tasks
-    dur = dur.tolist()
-    node = node.tolist()
-    waiting = waiting.tolist()
-    sp = succ_ptr.tolist()
-    si = succ_idx.tolist()
-    slot_of = edge_slot.tolist()
-    rank = rank.tolist()
-    task_of_rank = task_of_rank.tolist()
-    site = site_of.tolist()
-
-    data_ready = [0.0] * ntasks
-    free_cores = [cores_per_node] * nnodes
-    ready: list[list[int]] = [[] for _ in range(nnodes)]
-    chan_free = [0.0] * nnodes
-    slot_arrival = [-1.0] * nslots
-    state = bytearray(ntasks)  # 0 new, 1 queued, 2 launched
-    events: list[tuple[float, int]] = []
-    push, pop = heapq.heappush, heapq.heappop
-    busy = 0.0
-    finish_time = 0.0
-    messages = 0
-    queued = [0] * nnodes if observe else None
-
-    def try_start(t: int, now: float) -> None:
-        nd = node[t]
-        dr = data_ready[t]
-        start = dr if dr > now else now
-        if free_cores[nd] > 0:
-            free_cores[nd] -= 1
-            launch(t, start)
-        else:
-            state[t] = 1
-            push(ready[nd], rank[t])
-            if observe:
-                queued[nd] += 1
-                rec.queue_depth(now, nd, queued[nd])
-
-    def launch(t: int, start: float) -> None:
-        nonlocal busy, finish_time
-        state[t] = 2
-        d = dur[t]
-        end = start + d
-        busy += d
-        if end > finish_time:
-            finish_time = end
-        push(events, (end, t))
-        if observe:
-            rec.task(t, node[t], start, end)
-
-    for t in range(ntasks):
-        if waiting[t] == 0:
-            try_start(t, 0.0)
-
-    while events:
-        now, code = pop(events)
-        if code >= ntasks:
-            try_start(code - ntasks, now)
-            continue
-        t = code
-        nd = node[t]
-        nxt = -1
-        if data_reuse:
-            best = -1
-            for i in range(sp[t], sp[t + 1]):
-                s = si[i]
-                if (
-                    state[s] == 1
-                    and node[s] == nd
-                    and data_ready[s] <= now
-                    and (best < 0 or rank[s] < rank[best])
-                ):
-                    best = s
-            nxt = best
-        if nxt < 0:
-            heap = ready[nd]
-            while heap:
-                cand = task_of_rank[pop(heap)]
-                if state[cand] == 1:
-                    nxt = cand
-                    break
-        if nxt >= 0:
-            if observe:
-                queued[nd] -= 1
-                rec.queue_depth(now, nd, queued[nd])
-            dr = data_ready[nxt]
-            launch(nxt, dr if dr > now else now)
-        else:
-            free_cores[nd] += 1
-        for i in range(sp[t], sp[t + 1]):
-            s = si[i]
-            slot = slot_of[i]
-            if slot < 0:
-                arrival = now
-            else:
-                arrival = slot_arrival[slot]
-                if arrival < 0:
-                    dest = node[s]
-                    if hierarchical and site[nd] != site[dest]:
-                        lat, bwt = lat_inter, bwt_inter
-                    else:
-                        lat, bwt = lat_intra, bwt_intra
-                    if serialized:
-                        depart = now
-                        if chan_free[nd] > depart:
-                            depart = chan_free[nd]
-                        if chan_free[dest] > depart:
-                            depart = chan_free[dest]
-                        chan_free[nd] = depart + bwt
-                        chan_free[dest] = depart + bwt
-                        arrival = depart + lat + bwt
-                    else:
-                        depart = now
-                        arrival = now + lat + bwt
-                    slot_arrival[slot] = arrival
-                    messages += 1
-                    if observe:
-                        rec.comm(t, nd, dest, depart, arrival, nbytes)
-            if arrival > data_ready[s]:
-                data_ready[s] = arrival
-            waiting[s] -= 1
-            if waiting[s] == 0:
-                avail = data_ready[s]
-                if avail <= now:
-                    try_start(s, now)
-                else:
-                    push(events, (avail, ntasks + s))
-
-    if any(w > 0 for w in waiting):  # pragma: no cover - cycle guard
-        raise RuntimeError("simulation stalled with unfinished tasks")
-    return finish_time, busy, messages
-
-
-# --------------------------------------------------------------------- #
-# batched cluster dispatch
-# --------------------------------------------------------------------- #
 def simulate_compiled_batch(
     graphs,
     machine: Machine,
@@ -440,176 +116,13 @@ def simulate_compiled_batch(
 ) -> list[SimulationResult]:
     """Run many compiled graphs through the cluster loop in one dispatch.
 
-    All graphs share the machine, tile size, and data-reuse flag (one
-    sweep); ``prios`` is an optional per-graph priority-vector list.  The
-    C path concatenates every graph into one structure-of-arrays arena
-    and makes a *single* Python->C call (``hqr_simulate_cluster_batch``),
-    fanned out over points with OpenMP when the core was built with it
-    (``REPRO_SIM_THREADS`` overrides the thread count).  Results are
-    bit-identical to calling :func:`simulate_compiled` per graph — the C
-    side runs the exact scalar loop on per-point array slices, and the
-    fallback path *is* the per-graph loop.
+    See :func:`repro.runtime.core.run_core_batch` — the C path makes a
+    single Python->C call over a concatenated arena, OpenMP-fanned over
+    points, and is bit-identical to per-point :func:`simulate_compiled`.
     """
-    npoints = len(graphs)
-    if npoints == 0:
-        return []
-    if prios is None:
-        prios = [None] * npoints
-    if len(prios) != npoints:
-        raise ValueError(
-            f"prios has {len(prios)} entries for {npoints} graphs"
-        )
-    rec = _obs_active()
-    wall0 = time.perf_counter() if rec is not None else 0.0
-    tile_bytes = machine.tile_bytes(b)
-
-    lib = _pick_engine(core)
-    if lib is not None and rec is not None and rec.want_tasks:
-        rec.note("engine_fallback", reason="task-level recording", frm="c-batch")
-        lib = None
-    results: list[SimulationResult | None] = [None] * npoints
-    # empty graphs never reach the C core: malloc(0) is allowed to return
-    # NULL, which the scalar loop would misread as allocation failure
-    live = [i for i in range(npoints) if graphs[i].ntasks > 0]
-    for i in range(npoints):
-        if graphs[i].ntasks == 0:
-            results[i] = SimulationResult(
-                0.0, 0.0, 0, 0, 0.0, machine.cores, None
-            )
-
-    batch = None
-    if lib is not None and live:
-        with stage("dispatch_pack"):
-            batch = _pack_batch(graphs, prios, live)
-    if batch is not None:
-        with stage("dispatch_compute"):
-            out = _c_cluster_batch(lib, batch, machine, b, data_reuse)
-        if out is None:
-            batch = None  # allocation failure: retry per point in Python
-        else:
-            makespans, busys, msgs = out
-            for j, i in enumerate(live):
-                cg = graphs[i]
-                results[i] = SimulationResult(
-                    makespan=float(makespans[j]),
-                    flops=qr_flops(cg.m * b, cg.n * b),
-                    messages=int(msgs[j]),
-                    bytes_sent=int(msgs[j]) * tile_bytes,
-                    busy_seconds=float(busys[j]),
-                    cores=machine.cores,
-                    trace=None,
-                )
-            if rec is not None:
-                rec.run(
-                    engine="c-batch",
-                    loop="cluster",
-                    wall_s=time.perf_counter() - wall0,
-                    points=len(live),
-                    ntasks=int(batch["task_off"][-1]),
-                    threads=sim_threads(),
-                    openmp=_ccore.openmp_available(),
-                )
-    if batch is None and live:
-        # bit-identical fallback: the scalar path per point (pure-Python
-        # core, or C per point when only the batch packing failed)
-        with stage("dispatch_compute"):
-            for i in live:
-                results[i] = simulate_compiled(
-                    graphs[i], machine, b,
-                    prio=prios[i], data_reuse=data_reuse, core=core,
-                )
-    return results  # type: ignore[return-value]
-
-
-def _pack_batch(graphs, prios, live) -> dict:
-    """Concatenate per-point graph arrays into one batch arena."""
-    npoints = len(live)
-    task_off = np.zeros(npoints + 1, dtype=np.int64)
-    edge_off = np.zeros(npoints + 1, dtype=np.int64)
-    slot_off = np.zeros(npoints + 1, dtype=np.int64)
-    for j, i in enumerate(live):
-        cg = graphs[i]
-        task_off[j + 1] = task_off[j] + cg.ntasks
-        edge_off[j + 1] = edge_off[j] + len(cg.succ_idx)
-        slot_off[j + 1] = slot_off[j] + cg.nslots
-    cat = np.concatenate
-    ranks = []
-    orders = []
-    for j, i in enumerate(live):
-        r, o = priority_ranks(prios[i], graphs[i].ntasks)
-        ranks.append(r)
-        orders.append(o)
-    live_graphs = [graphs[i] for i in live]
-    dur_tables = np.ascontiguousarray(
-        np.stack([cg.dur_table for cg in live_graphs]).ravel(), dtype=np.float64
+    return run_core_batch(
+        graphs, machine, b, prios=prios, data_reuse=data_reuse, core=core,
     )
-    return {
-        "task_off": task_off,
-        "edge_off": edge_off,
-        "slot_off": slot_off,
-        "dur_tables": dur_tables,
-        "kind": np.ascontiguousarray(cat([cg.kind for cg in live_graphs])),
-        "node": np.ascontiguousarray(cat([cg.node for cg in live_graphs])),
-        "waiting": np.ascontiguousarray(
-            cat([cg.pred_counts for cg in live_graphs])
-        ),
-        "succ_ptr": np.ascontiguousarray(
-            cat([cg.succ_ptr for cg in live_graphs])
-        ),
-        "succ_idx": np.ascontiguousarray(
-            cat([cg.succ_idx for cg in live_graphs])
-        ),
-        "edge_slot": np.ascontiguousarray(
-            cat([cg.edge_slot for cg in live_graphs])
-        ),
-        "rank": np.ascontiguousarray(cat(ranks)),
-        "task_of_rank": np.ascontiguousarray(cat(orders)),
-    }
-
-
-def _c_cluster_batch(lib, batch, machine: Machine, b: int, data_reuse: bool):
-    npoints = len(batch["task_off"]) - 1
-    tile_bytes = machine.tile_bytes(b)
-    nnodes = machine.nodes
-    hierarchical = machine.site_size > 0
-    inf = float("inf")
-    bwt_intra = tile_bytes / machine.bandwidth if machine.bandwidth != inf else 0.0
-    bwt_inter = (
-        tile_bytes / machine.inter_site_bandwidth if hierarchical else 0.0
-    )
-    site_of = (
-        np.arange(nnodes, dtype=np.int32) // machine.site_size
-        if hierarchical
-        else np.zeros(nnodes, dtype=np.int32)
-    )
-    out_mk = np.zeros(npoints, dtype=np.float64)
-    out_busy = np.zeros(npoints, dtype=np.float64)
-    out_msgs = np.zeros(npoints, dtype=np.int64)
-    out_rc = np.zeros(npoints, dtype=np.int32)
-    i32, i64, f64 = ctypes.c_int32, ctypes.c_int64, ctypes.c_double
-    rc = lib.hqr_simulate_cluster_batch(
-        i64(npoints), i32(sim_threads()),
-        _ptr(batch["task_off"], i64), _ptr(batch["edge_off"], i64),
-        _ptr(batch["slot_off"], i64),
-        i32(nnodes), i32(machine.cores_per_node),
-        _ptr(batch["dur_tables"], f64),
-        _ptr(batch["kind"], ctypes.c_int8),
-        _ptr(batch["node"], i32), _ptr(batch["waiting"], i32),
-        _ptr(batch["succ_ptr"], i64), _ptr(batch["succ_idx"], i32),
-        _ptr(batch["edge_slot"], i32),
-        _ptr(batch["rank"], i32), _ptr(batch["task_of_rank"], i32),
-        i32(1 if machine.comm_serialized else 0), i32(1 if hierarchical else 0),
-        f64(machine.latency), f64(bwt_intra),
-        f64(machine.inter_site_latency), f64(bwt_inter),
-        _ptr(site_of, i32), i32(1 if data_reuse else 0),
-        _ptr(out_mk, f64), _ptr(out_busy, f64), _ptr(out_msgs, i64),
-        _ptr(out_rc, i32),
-    )
-    if rc != 0:
-        if np.any(out_rc == 1):  # pragma: no cover - cycle guard
-            raise RuntimeError("simulation stalled with unfinished tasks")
-        return None  # allocation failure somewhere: retry in Python
-    return out_mk, out_busy, out_msgs
 
 
 # --------------------------------------------------------------------- #

@@ -1,0 +1,1196 @@
+"""The unified event-loop core — every simulator engine's single source.
+
+Historically the repo carried four bitwise-equivalent copies of the
+cluster event loop (reference, compiled-python, compiled-C, resilient)
+plus guarded/resumed variants for incremental re-simulation; every
+scheduling invariant had to be maintained in each copy, and every recent
+divergence bug was a cross-copy drift.  This module states the loop
+**once**, parameterized by capability flags:
+
+* **inner loop** — the native C core (:mod:`repro._ccore`) or the
+  pure-Python loop below, selected by ``REPRO_SIM_CORE`` / the ``core``
+  argument; the C core is used only when no Python-visible capability
+  (tracing, fault hooks, checkpoints, task-level recording) is active;
+* **tracing** — ``record_trace=True`` captures the task trace and (in
+  fault-free runs) the comm trace consumed by the verify oracle;
+* **observability** — a :mod:`repro.obs` recorder at ``tasks`` level
+  receives task spans / messages / queue depths; all emission sites are
+  pure appends behind ``observe`` checks, so the schedule and every
+  float are identical with or without a recorder;
+* **fault hooks** — a :class:`FaultHooks` bundle (schedule + replan
+  callback) turns on the failure-aware branch: per-edge satisfaction,
+  generation counters, lineage-cone recovery, message drops.  With an
+  *empty* schedule the fault branch is bit-identical to the fault-free
+  branch (asserted by ``tests/runtime/test_core_equivalence.py``);
+* **checkpoint hooks** — guard/resume captures for incremental
+  re-simulation of sweep points sharing a schedule prefix
+  (:mod:`repro.runtime.incremental` plans the pairs).
+
+Event encoding is uniform across all modes: heap entries are
+``(time, code, gen)`` where ``code = task`` for a finish,
+``ntasks + task`` for a data arrival, and ``2*ntasks + i`` for crash
+``i``.  At equal times this orders finishes before arrivals before
+crashes and each kind by task id — exactly the total order of the
+historical per-engine encodings, so the unification is bitwise-neutral
+(proven against golden fixtures captured from the pre-refactor engines;
+see :mod:`repro.runtime.golden`).
+
+Ready queues hold dense priority *ranks*: the rank permutation sorts
+``(priority, task id)``, so rank order reproduces the reference
+scheduler's tie-breaking exactly, and ``prio=None`` (program order)
+makes ranks the identity.
+
+Front ends (:mod:`repro.runtime.simulator`, :mod:`repro.runtime.
+compiled`, :mod:`repro.resilience.simulate`, :mod:`repro.runtime.
+incremental`) are thin adapters over :func:`run_core`,
+:func:`run_core_batch`, :func:`run_core_guarded`, and
+:func:`run_core_resumed`.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import heapq
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro import _ccore
+from repro.dag.compiled import CompiledGraph
+from repro.obs.events import active as _obs_active
+from repro.obs.profile import stage
+from repro.runtime.machine import Machine
+from repro.runtime.simulator import SimulationResult, qr_flops
+
+__all__ = [
+    "CoreOutcome",
+    "FaultHooks",
+    "FaultOutcome",
+    "SimCheckpoint",
+    "core_mode",
+    "priority_ranks",
+    "run_core",
+    "run_core_batch",
+    "run_core_guarded",
+    "run_core_resumed",
+    "sim_threads",
+]
+
+
+# --------------------------------------------------------------------- #
+# engine selection
+# --------------------------------------------------------------------- #
+def core_mode() -> str:
+    """Engine selection from ``REPRO_SIM_CORE`` (auto/c/python/reference)."""
+    mode = os.environ.get("REPRO_SIM_CORE", "auto").lower()
+    if mode not in ("auto", "c", "python", "reference"):
+        raise ValueError(
+            f"REPRO_SIM_CORE must be auto/c/python/reference, got {mode!r}"
+        )
+    return mode
+
+
+def sim_threads() -> int:
+    """OpenMP thread count for batched dispatch (``REPRO_SIM_THREADS``).
+
+    0 (the default) lets the OpenMP runtime pick; the result only affects
+    wall time — batch points are independent, so any thread count is
+    bit-identical.
+    """
+    env = os.environ.get("REPRO_SIM_THREADS")
+    if not env:
+        return 0
+    try:
+        return max(0, int(env))
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SIM_THREADS must be an integer, got {env!r}"
+        ) from None
+
+
+def priority_ranks(prio, ntasks: int) -> tuple[np.ndarray, np.ndarray]:
+    """Dense rank permutation of a priority vector.
+
+    Returns ``(rank, task_of_rank)`` with ``rank[t]`` unique and ordered
+    exactly like the reference scheduler's ``(prio[t], t)`` keys; ``None``
+    means program order (identity).
+    """
+    if prio is None:
+        ident = np.arange(ntasks, dtype=np.int32)
+        return ident, ident
+    arr = None
+    try:
+        cand = np.asarray(prio)
+        if cand.shape == (ntasks,) and cand.dtype.kind in "iuf":
+            arr = cand
+    except (ValueError, TypeError):  # ragged / non-numeric priorities
+        arr = None
+    if arr is not None:
+        order = np.lexsort((np.arange(ntasks), arr)).astype(np.int32)
+    else:
+        order = np.array(
+            sorted(range(ntasks), key=lambda t: (prio[t], t)), dtype=np.int32
+        )
+    rank = np.empty(ntasks, dtype=np.int32)
+    rank[order] = np.arange(ntasks, dtype=np.int32)
+    return rank, order
+
+
+def _pick_engine(core: str | None):
+    """Resolve the engine: returns the C library or None for Python."""
+    mode = core or core_mode()
+    if mode == "python":
+        return None
+    lib = _ccore.get_lib()
+    if mode == "c" and lib is None:
+        raise RuntimeError(
+            "REPRO_SIM_CORE=c but the native core is unavailable "
+            "(no C compiler found)"
+        )
+    return lib
+
+
+def _ptr(arr: np.ndarray, typ):
+    return arr.ctypes.data_as(ctypes.POINTER(typ))
+
+
+# --------------------------------------------------------------------- #
+# capability-flag bundles
+# --------------------------------------------------------------------- #
+@dataclass
+class FaultHooks:
+    """Fault-injection capability: a schedule plus a re-planning callback.
+
+    ``replan(dead)`` returns the post-crash node of *every* task given
+    the set of dead nodes (only tasks currently placed on dead nodes are
+    moved).  ``fault_events`` is appended to in injection order; the
+    front end sorts/publishes it.
+    """
+
+    schedule: object
+    replan: Callable[[set], list]
+    fault_events: list = field(default_factory=list)
+
+
+@dataclass
+class FaultOutcome:
+    """Recovery accounting produced by a fault-hooked run."""
+
+    executions: int = 0  # total task executions (>= ntasks under crashes)
+    aborted: int = 0
+    wasted: float = 0.0
+    refetches: int = 0
+    dropped: int = 0
+    retransmits: int = 0
+    dead: tuple = ()
+    fault_events: list = field(default_factory=list)
+
+
+@dataclass
+class CoreOutcome:
+    """What one :func:`run_core` invocation produced."""
+
+    result: SimulationResult
+    fault: FaultOutcome | None = None
+    engine: str = "python"  # inner loop actually used ("c" or "python")
+
+
+@dataclass
+class SimCheckpoint:
+    """Event-loop state restricted to the shared task prefix.
+
+    ``phase`` records where the capture happened (``scan`` = ck0,
+    ``loop`` = ck1).  All prefix-indexed arrays are sliced to
+    ``suffix_start``; ``slot_pairs`` maps touched message slots to their
+    arrival times by graph-independent ``(producer, dest-node)`` keys;
+    ``events`` still carries donor-graph arrival codes (re-based against
+    ``ntasks`` on resume).
+    """
+
+    suffix_start: int
+    ntasks: int
+    phase: str
+    events: list
+    data_ready: list
+    waiting: list
+    state: bytes
+    free_cores: list
+    ready: list
+    chan_free: list
+    slot_pairs: dict
+    busy: float
+    finish_time: float
+    messages: int
+
+
+def _machine_params(machine: Machine, b: int):
+    """Flattened link/topology parameters shared by every loop mode."""
+    tile_bytes = machine.tile_bytes(b)
+    hierarchical = machine.site_size > 0
+    inf = float("inf")
+    bwt_intra = tile_bytes / machine.bandwidth if machine.bandwidth != inf else 0.0
+    bwt_inter = (
+        tile_bytes / machine.inter_site_bandwidth if hierarchical else 0.0
+    )
+    if hierarchical:
+        site = (np.arange(machine.nodes) // machine.site_size).tolist()
+    else:
+        site = [0] * machine.nodes
+    return (
+        machine.nodes,
+        machine.cores_per_node,
+        machine.comm_serialized,
+        hierarchical,
+        machine.latency,
+        bwt_intra,
+        machine.inter_site_latency,
+        bwt_inter,
+        site,
+    )
+
+
+def _slot_pair_arrays(cg: CompiledGraph) -> tuple[list, list]:
+    """Per-slot ``(producer task, destination node)`` — the
+    graph-independent identity of each message slot."""
+    nslots = cg.nslots
+    prod = np.zeros(nslots, dtype=np.int64)
+    dest = np.zeros(nslots, dtype=np.int64)
+    if nslots:
+        producer = np.repeat(
+            np.arange(cg.ntasks, dtype=np.int64), np.diff(cg.succ_ptr)
+        )
+        mask = cg.edge_slot >= 0
+        slots = cg.edge_slot[mask]
+        prod[slots] = producer[mask]
+        dest[slots] = cg.node[cg.succ_idx[mask]]
+    return prod.tolist(), dest.tolist()
+
+
+# --------------------------------------------------------------------- #
+# the single Python event loop
+# --------------------------------------------------------------------- #
+def _py_loop(
+    ntasks, nnodes, cores_per_node, dur, node, waiting,
+    sp, si, slot_of, nslots, rank, task_of_rank,
+    serialized, hierarchical, lat_intra, bwt_intra, lat_inter, bwt_inter, site,
+    data_reuse,
+    *,
+    rec=None,
+    nbytes=0,
+    record_trace=False,
+    fault: FaultHooks | None = None,
+    pred_ptr=None,
+    pred_idx=None,
+    suffix_start=None,
+    frontier=None,
+    resume_from: SimCheckpoint | None = None,
+    pair_prod=None,
+    pair_dest=None,
+):
+    """The unified cluster event loop (pure-Python inner loop).
+
+    One body serves every capability combination; each per-mode branch
+    states an invariant exactly once.  All inputs are plain lists/ints so
+    the hot loop never touches numpy.  Returns
+    ``(finish_time, busy, messages, trace, comm, fault_out, ck0, ck1)``.
+    """
+    faulty = fault is not None
+    observe = rec is not None and rec.want_tasks
+    push, pop = heapq.heappush, heapq.heappop
+    guard = resume_from is None and suffix_start is not None
+
+    if resume_from is not None:
+        ck = resume_from
+        tc0 = ck.suffix_start
+        if tc0 > ntasks:
+            raise ValueError(
+                f"checkpoint prefix {tc0} exceeds graph size {ntasks}"
+            )
+        waiting = list(ck.waiting) + waiting[tc0:]
+        data_ready = list(ck.data_ready) + [0.0] * (ntasks - tc0)
+        state = bytearray(ck.state) + bytearray(ntasks - tc0)
+        free_cores = list(ck.free_cores)
+        ready = [list(h) for h in ck.ready]
+        chan_free = list(ck.chan_free)
+        slot_arrival = [-1.0] * nslots
+        if ck.slot_pairs:
+            pair_to_slot = {
+                (pair_prod[s], pair_dest[s]): s for s in range(nslots)
+            }
+            for pair, arr in ck.slot_pairs.items():
+                slot_arrival[pair_to_slot[pair]] = arr
+        # re-base arrival codes from the donor's ntasks; finish codes are
+        # task ids below both sizes, so every heap comparison — and hence
+        # the pop order — is unchanged
+        shift = ntasks - ck.ntasks
+        events = [
+            (tm, code if code < ck.ntasks else code + shift, g)
+            for tm, code, g in ck.events
+        ]
+        busy = ck.busy
+        finish_time = ck.finish_time
+        messages = ck.messages
+        scan_from = tc0
+    else:
+        data_ready = [0.0] * ntasks
+        free_cores = [cores_per_node] * nnodes
+        ready = [[] for _ in range(nnodes)]
+        chan_free = [0.0] * nnodes
+        slot_arrival = [-1.0] * nslots
+        state = bytearray(ntasks)  # 0 new, 1 queued, 2 launched
+        events: list[tuple[float, int, int]] = []
+        busy = 0.0
+        finish_time = 0.0
+        messages = 0
+        scan_from = 0
+
+    trace = [] if record_trace else None
+    comm = [] if (record_trace and not faulty) else None
+    queued = [0] * nnodes if (observe and not faulty) else None
+
+    if faulty:
+        schedule = fault.schedule
+        replan = fault.replan
+        fault_events = fault.fault_events
+        sent: dict[tuple[int, int], float] = {}  # (producer, dest) -> arrival
+        sat: set[tuple[int, int]] = set()  # satisfied (producer, consumer)
+        finished = bytearray(ntasks)
+        exec_node = [-1] * ntasks  # node that ran the last finished execution
+        gen = [0] * ntasks  # invalidates stale finish/arrival events
+        start_of = [0.0] * ntasks
+        cur_dur = [0.0] * ntasks
+        dead: set[int] = set()
+        pp, pi = pred_ptr, pred_idx
+        refetches = dropped = retransmits = 0
+        executions = aborted = 0
+        msg_index = 0
+        wasted = 0.0
+
+    def link_params(src: int, dst: int) -> tuple[float, float]:
+        if hierarchical and site[src] != site[dst]:
+            return lat_inter, bwt_inter
+        return lat_intra, bwt_intra
+
+    def try_start(t: int, now: float) -> None:
+        nd = node[t]
+        dr = data_ready[t]
+        start = dr if dr > now else now
+        if free_cores[nd] > 0:
+            free_cores[nd] -= 1
+            launch(t, start)
+        else:
+            state[t] = 1
+            push(ready[nd], rank[t])
+            if queued is not None:
+                queued[nd] += 1
+                rec.queue_depth(now, nd, queued[nd])
+
+    if faulty:
+
+        def launch(t: int, start: float) -> None:
+            nonlocal busy
+            state[t] = 2
+            d = dur[t] * schedule.slowdown_factor(node[t], start)
+            start_of[t] = start
+            cur_dur[t] = d
+            # account busy at launch, in launch order — the same summation
+            # order as the fault-free branch, so an empty schedule stays
+            # bit-identical; aborts subtract the full duration back out
+            busy += d
+            push(events, (start + d, t, gen[t]))
+
+        def transfer(src: int, dst: int, now: float, producer: int) -> float:
+            """Arrival time of one tile src -> dst departing at ``now``."""
+            nonlocal messages, dropped, retransmits, msg_index
+            lat, bwt = link_params(src, dst)
+            if serialized:
+                depart = now
+                if chan_free[src] > depart:
+                    depart = chan_free[src]
+                if chan_free[dst] > depart:
+                    depart = chan_free[dst]
+                chan_free[src] = depart + bwt
+                chan_free[dst] = depart + bwt
+            else:
+                depart = now
+            arrival = depart + lat + bwt
+            messages += 1
+            if observe:
+                rec.comm(producer, src, dst, depart, arrival, nbytes)
+            idx = msg_index
+            msg_index += 1
+            if schedule.drops_message(idx):
+                # lost on the wire: NACK after the timeout, send again
+                dropped += 1
+                retransmits += 1
+                messages += 1
+                arrival += schedule.retransmit_timeout + lat + bwt
+                fault_events.append(
+                    {"type": "drop", "time": depart, "src": src, "dst": dst}
+                )
+            return arrival
+
+        def handle_crash(n: int, tc: float) -> None:
+            """Abort, compute the recovery cone, re-plan, and rebuild."""
+            nonlocal aborted, busy, wasted, refetches, messages
+            dead.add(n)
+            recovery = tc + schedule.detection_latency
+            fault_events.append({"type": "crash", "time": tc, "node": n})
+
+            n_aborted = 0
+            for t in range(ntasks):
+                if state[t] == 2 and not finished[t] and node[t] == n:
+                    state[t] = 0
+                    gen[t] += 1
+                    busy -= cur_dur[t]  # aborted work is wasted, not busy
+                    wasted += tc - start_of[t]
+                    n_aborted += 1
+            aborted += n_aborted
+
+            # re-plan every pending task off the dead nodes
+            targets = replan(dead)
+            touched = set()  # tasks that may not restart before detection
+            for t in range(ntasks):
+                if not finished[t] and node[t] in dead:
+                    node[t] = targets[t]
+                    touched.add(t)
+
+            # deliveries to dead nodes and transfers in flight from a dead
+            # sender are lost
+            for key in [
+                k
+                for k, a in sent.items()
+                if k[1] in dead or (a > tc and exec_node[k[0]] in dead)
+            ]:
+                del sent[key]
+            # surviving replica locations: node the producer ran on (if
+            # alive) plus every alive node a copy had arrived at by tc
+            replicas: dict[int, int] = {}
+            for (p, d2), a in sent.items():
+                if a <= tc and (p not in replicas or d2 < replicas[p]):
+                    replicas[p] = d2
+            for p in range(ntasks):
+                if finished[p] and exec_node[p] not in dead:
+                    replicas[p] = exec_node[p]
+
+            # recovery cone: lost outputs transitively needed by pending
+            # work — the DAG is the unit of re-execution
+            n_redo = 0
+            stack = [t for t in range(ntasks) if not finished[t]]
+            while stack:
+                t = stack.pop()
+                for j in range(pp[t], pp[t + 1]):
+                    p = pi[j]
+                    if finished[p] and p not in replicas:
+                        finished[p] = 0
+                        state[p] = 0
+                        gen[p] += 1
+                        n_redo += 1
+                        touched.add(p)
+                        if node[p] in dead:
+                            node[p] = targets[p]
+                        stack.append(p)
+            fault_events.append(
+                {
+                    "type": "recovery",
+                    "time": recovery,
+                    "node": n,
+                    "reexecuted": n_redo,
+                    "aborted": n_aborted,
+                }
+            )
+
+            # rebuild scheduler state: per-edge satisfaction, data arrival
+            # floors, ready queues, core counts
+            for heap in ready:
+                heap.clear()
+            for nd in range(nnodes):
+                if nd in dead:
+                    free_cores[nd] = 0
+                else:
+                    running = sum(
+                        1
+                        for t in range(ntasks)
+                        if state[t] == 2
+                        and not finished[t]
+                        and node[t] == nd
+                    )
+                    free_cores[nd] = cores_per_node - running
+            seeds = []
+            for t in range(ntasks):
+                if finished[t] or state[t] == 2:
+                    continue
+                state[t] = 0
+                w = 0
+                dr = recovery if t in touched else 0.0
+                for j in range(pp[t], pp[t + 1]):
+                    p = pi[j]
+                    if not finished[p]:
+                        sat.discard((p, t))
+                        w += 1
+                        continue
+                    dst = node[t]
+                    if exec_node[p] == dst:
+                        sat.add((p, t))
+                        continue
+                    a = sent.get((p, dst))
+                    if a is None:
+                        # re-fetch from a surviving replica after detection
+                        lat, bwt = link_params(replicas[p], dst)
+                        a = recovery + lat + bwt
+                        sent[(p, dst)] = a
+                        refetches += 1
+                        messages += 1
+                        if observe:
+                            rec.comm(p, replicas[p], dst, recovery, a, nbytes)
+                    sat.add((p, t))
+                    if a > dr:
+                        dr = a
+                waiting[t] = w
+                data_ready[t] = dr
+                if w == 0:
+                    seeds.append(t)
+            for t in seeds:
+                if data_ready[t] <= tc:
+                    try_start(t, tc)
+                else:
+                    push(events, (data_ready[t], ntasks + t, gen[t]))
+
+    else:
+
+        def launch(t: int, start: float) -> None:
+            nonlocal busy, finish_time
+            state[t] = 2
+            d = dur[t]
+            end = start + d
+            busy += d
+            if end > finish_time:
+                finish_time = end
+            push(events, (end, t, 0))
+            if trace is not None:
+                trace.append((t, node[t], start, end))
+            if observe:
+                rec.task(t, node[t], start, end)
+
+    def snapshot(phase: str) -> SimCheckpoint:
+        cut = suffix_start
+        touched = {}
+        for s, arr in enumerate(slot_arrival):
+            if arr >= 0.0:
+                touched[(pair_prod[s], pair_dest[s])] = arr
+        return SimCheckpoint(
+            suffix_start=cut,
+            ntasks=ntasks,
+            phase=phase,
+            events=list(events),
+            data_ready=data_ready[:cut],
+            waiting=waiting[:cut],
+            state=bytes(state[:cut]),
+            free_cores=list(free_cores),
+            ready=[list(h) for h in ready],
+            chan_free=list(chan_free),
+            slot_pairs=touched,
+            busy=busy,
+            finish_time=finish_time,
+            messages=messages,
+        )
+
+    # seed roots (and, under fault hooks, the crash events)
+    ck0 = None
+    suffix_seeded = False
+    for t in range(scan_from, ntasks):
+        if guard and t == suffix_start:
+            ck0 = snapshot("scan")
+        if waiting[t] == 0:
+            if guard and t >= suffix_start:
+                # a zero-predecessor *suffix* task enters the schedule at
+                # t=0: everything from here on (busy time, core occupancy,
+                # its finish event) belongs to this graph's suffix, so no
+                # loop-phase checkpoint can be resumed onto another graph
+                suffix_seeded = True
+            try_start(t, 0.0)
+    if guard and ck0 is None:  # suffix_start == ntasks
+        ck0 = snapshot("scan")
+    if faulty:
+        for ci, c in enumerate(schedule.crashes):
+            push(events, (c.time, 2 * ntasks + ci, 0))
+
+    ck1 = None
+    two_n = 2 * ntasks
+    while events:
+        if guard:
+            code0 = events[0][1]  # peek: heap root is the next pop
+            tq = code0 - ntasks if code0 >= ntasks else code0
+            if tq >= suffix_start or (code0 < ntasks and tq in frontier):
+                if not suffix_seeded:
+                    ck1 = snapshot("loop")
+                guard = False
+        now, code, g = pop(events)
+        if code >= ntasks:
+            if code >= two_n:  # crash event (fault hooks only)
+                handle_crash(schedule.crashes[code - two_n].node, now)
+                continue
+            a = code - ntasks
+            if faulty:
+                # gated: a crash may have invalidated this arrival
+                if gen[a] == g and state[a] == 0 and waiting[a] == 0:
+                    try_start(a, now)
+            else:
+                try_start(a, now)
+            continue
+        # task finish
+        t = code
+        if faulty:
+            if gen[t] != g:  # aborted execution
+                continue
+            nd = node[t]
+            finished[t] = 1
+            exec_node[t] = nd
+            executions += 1
+            if now > finish_time:
+                finish_time = now
+            if trace is not None:
+                trace.append((t, nd, start_of[t], now))
+            if observe:
+                rec.task(t, nd, start_of[t], now)
+        else:
+            nd = node[t]
+        # the freed core picks its next task
+        nxt = -1
+        if data_reuse:
+            # DAGuE heuristic: prefer a ready successor of the task that
+            # just finished — its data is still hot
+            best = -1
+            for i in range(sp[t], sp[t + 1]):
+                s = si[i]
+                if (
+                    state[s] == 1
+                    and node[s] == nd
+                    and data_ready[s] <= now
+                    and (best < 0 or rank[s] < rank[best])
+                ):
+                    best = s
+            nxt = best
+        if nxt < 0:
+            heap = ready[nd]
+            while heap:
+                cand = task_of_rank[pop(heap)]
+                if state[cand] == 1:
+                    nxt = cand
+                    break
+        if nxt >= 0:
+            if queued is not None:
+                queued[nd] -= 1
+                rec.queue_depth(now, nd, queued[nd])
+            dr = data_ready[nxt]
+            launch(nxt, dr if dr > now else now)
+        else:
+            free_cores[nd] += 1
+        # propagate data to successors
+        for i in range(sp[t], sp[t + 1]):
+            s = si[i]
+            if faulty:
+                # per-edge satisfaction: a re-executed producer must not
+                # double-release a consumer
+                if finished[s] or (t, s) in sat:
+                    continue
+                dest = node[s]
+                if dest == nd:
+                    arrival = now
+                else:
+                    key = (t, dest)
+                    arrival = sent.get(key, -1.0)
+                    if arrival < 0:
+                        arrival = transfer(nd, dest, now, t)
+                        sent[key] = arrival
+                sat.add((t, s))
+            else:
+                slot = slot_of[i]
+                if slot < 0:
+                    arrival = now
+                else:
+                    arrival = slot_arrival[slot]
+                    if arrival < 0:
+                        dest = node[s]
+                        if hierarchical and site[nd] != site[dest]:
+                            lat, bwt = lat_inter, bwt_inter
+                        else:
+                            lat, bwt = lat_intra, bwt_intra
+                        if serialized:
+                            # the transfer holds both endpoints' single
+                            # communication channel for its bandwidth term
+                            depart = now
+                            if chan_free[nd] > depart:
+                                depart = chan_free[nd]
+                            if chan_free[dest] > depart:
+                                depart = chan_free[dest]
+                            chan_free[nd] = depart + bwt
+                            chan_free[dest] = depart + bwt
+                            arrival = depart + lat + bwt
+                        else:
+                            depart = now
+                            arrival = now + lat + bwt
+                        slot_arrival[slot] = arrival
+                        messages += 1
+                        if comm is not None:
+                            comm.append((t, nd, dest, depart, arrival))
+                        if observe:
+                            rec.comm(t, nd, dest, depart, arrival, nbytes)
+            if arrival > data_ready[s]:
+                data_ready[s] = arrival
+            waiting[s] -= 1
+            if waiting[s] == 0:
+                # do not tie up a core before the slowest input lands
+                avail = data_ready[s]
+                if avail <= now:
+                    try_start(s, now)
+                else:
+                    push(
+                        events,
+                        (avail, ntasks + s, gen[s] if faulty else 0),
+                    )
+
+    if faulty:
+        if not all(finished):  # pragma: no cover - recovery bug guard
+            raise RuntimeError(
+                f"fault simulation stalled: "
+                f"{ntasks - sum(finished)} tasks unfinished"
+            )
+        fault_out = FaultOutcome(
+            executions=executions,
+            aborted=aborted,
+            wasted=wasted,
+            refetches=refetches,
+            dropped=dropped,
+            retransmits=retransmits,
+            dead=tuple(sorted(dead)),
+            fault_events=fault_events,
+        )
+    else:
+        if any(w > 0 for w in waiting):  # pragma: no cover - cycle guard
+            raise RuntimeError("simulation stalled with unfinished tasks")
+        fault_out = None
+    return finish_time, busy, messages, trace, comm, fault_out, ck0, ck1
+
+
+# --------------------------------------------------------------------- #
+# native inner loop
+# --------------------------------------------------------------------- #
+def _c_cluster(
+    lib, ntasks, nnodes, cores_per_node, dur, node, waiting,
+    succ_ptr, succ_idx, edge_slot, nslots, rank, task_of_rank,
+    serialized, hierarchical, lat_intra, bwt_intra, lat_inter, bwt_inter,
+    site_of, data_reuse,
+):
+    i32, i64, f64 = ctypes.c_int32, ctypes.c_int64, ctypes.c_double
+    out_mk, out_busy = f64(0.0), f64(0.0)
+    out_msgs = i64(0)
+    rc = lib.hqr_simulate_cluster(
+        i64(ntasks), i32(nnodes), i32(cores_per_node),
+        _ptr(dur, f64), _ptr(node, i32), _ptr(waiting, i32),
+        _ptr(succ_ptr, i64), _ptr(succ_idx, i32),
+        _ptr(edge_slot, i32), i64(nslots),
+        _ptr(rank, i32), _ptr(task_of_rank, i32),
+        i32(1 if serialized else 0), i32(1 if hierarchical else 0),
+        f64(lat_intra), f64(bwt_intra), f64(lat_inter), f64(bwt_inter),
+        _ptr(site_of, i32), i32(1 if data_reuse else 0),
+        ctypes.byref(out_mk), ctypes.byref(out_busy), ctypes.byref(out_msgs),
+    )
+    if rc == 1:  # pragma: no cover - cycle guard
+        raise RuntimeError("simulation stalled with unfinished tasks")
+    if rc != 0:  # pragma: no cover - allocation failure: retry in Python
+        return None
+    return out_mk.value, out_busy.value, out_msgs.value
+
+
+# --------------------------------------------------------------------- #
+# entry points
+# --------------------------------------------------------------------- #
+def run_core(
+    cg: CompiledGraph,
+    machine: Machine,
+    b: int,
+    *,
+    prio=None,
+    data_reuse: bool = False,
+    M: int | None = None,
+    N: int | None = None,
+    core: str | None = None,
+    record_trace: bool = False,
+    fault: FaultHooks | None = None,
+    engine_label: str | None = None,
+) -> CoreOutcome:
+    """Run one compiled graph through the unified event loop.
+
+    Dispatches to the native C core when no Python-visible capability is
+    requested (no tracing, no fault hooks, no task-level recording) and
+    ``REPRO_SIM_CORE`` / ``core`` allows it; otherwise runs the unified
+    Python loop.  Both are bit-identical.  ``engine_label`` overrides the
+    engine name in the obs run record (front ends keep their historical
+    labels, e.g. ``reference``).
+    """
+    M = cg.m * b if M is None else M
+    N = cg.n * b if N is None else N
+    ntasks = cg.ntasks
+    tile_bytes = machine.tile_bytes(b)
+    rec = _obs_active()
+    wall0 = time.perf_counter() if rec is not None else 0.0
+    if ntasks == 0:
+        return CoreOutcome(
+            result=SimulationResult(
+                0.0, 0.0, 0, 0, 0.0, machine.cores,
+                [] if record_trace else None,
+                [] if record_trace else None,
+            ),
+            fault=None if fault is None else FaultOutcome(
+                fault_events=fault.fault_events
+            ),
+        )
+
+    dur = np.ascontiguousarray(cg.dur_table[cg.kind])
+    waiting = np.ascontiguousarray(cg.pred_counts)
+    rank, task_of_rank = priority_ranks(prio, ntasks)
+    (
+        nnodes, cores_per_node, serialized, hierarchical,
+        lat_intra, bwt_intra, lat_inter, bwt_inter, site,
+    ) = _machine_params(machine, b)
+    site_of = np.asarray(site, dtype=np.int32)
+
+    lib = None
+    if not record_trace and fault is None:
+        lib = _pick_engine(core)
+        if lib is not None and rec is not None and rec.want_tasks:
+            # per-task/per-message detail needs Python callbacks, which
+            # the native core cannot make — run the bit-identical Python
+            # loop instead (one note per demoted graph, in every path)
+            rec.note("engine_fallback", reason="task-level recording", frm="c")
+            lib = None
+    if lib is not None:
+        out = _c_cluster(
+            lib, ntasks, nnodes, cores_per_node, dur, cg.node, waiting,
+            cg.succ_ptr, cg.succ_idx, cg.edge_slot, cg.nslots,
+            rank, task_of_rank, serialized, hierarchical,
+            lat_intra, bwt_intra, lat_inter, bwt_inter, site_of, data_reuse,
+        )
+        if out is not None:
+            makespan, busy, messages = out
+            if rec is not None:
+                rec.run(
+                    engine="c",
+                    loop="cluster",
+                    wall_s=time.perf_counter() - wall0,
+                    makespan=makespan,
+                    busy_seconds=busy,
+                    messages=messages,
+                    ntasks=ntasks,
+                )
+            return CoreOutcome(
+                result=SimulationResult(
+                    makespan=makespan,
+                    flops=qr_flops(M, N),
+                    messages=messages,
+                    bytes_sent=messages * tile_bytes,
+                    busy_seconds=busy,
+                    cores=machine.cores,
+                    trace=None,
+                ),
+                engine="c",
+            )
+
+    kw = {}
+    if fault is not None:
+        kw = dict(
+            fault=fault,
+            pred_ptr=cg.pred_ptr.tolist(),
+            pred_idx=cg.pred_idx.tolist(),
+        )
+    makespan, busy, messages, trace, comm, fault_out, _, _ = _py_loop(
+        ntasks, nnodes, cores_per_node,
+        dur.tolist(), cg.node.tolist(), waiting.tolist(),
+        cg.succ_ptr.tolist(), cg.succ_idx.tolist(),
+        cg.edge_slot.tolist() if fault is None else None,
+        cg.nslots if fault is None else 0,
+        rank.tolist(), task_of_rank.tolist(),
+        serialized, hierarchical,
+        lat_intra, bwt_intra, lat_inter, bwt_inter, site,
+        data_reuse,
+        rec=rec, nbytes=tile_bytes, record_trace=record_trace,
+        **kw,
+    )
+    engine = engine_label or "python"
+    if fault is None and rec is not None:
+        rec.run(
+            engine=engine,
+            loop="cluster",
+            wall_s=time.perf_counter() - wall0,
+            makespan=makespan,
+            busy_seconds=busy,
+            messages=messages,
+            ntasks=ntasks,
+        )
+    return CoreOutcome(
+        result=SimulationResult(
+            makespan=makespan,
+            flops=qr_flops(M, N),
+            messages=messages,
+            bytes_sent=messages * tile_bytes,
+            busy_seconds=busy,
+            cores=machine.cores,
+            trace=trace,
+            comm_trace=comm,
+        ),
+        fault=fault_out,
+        engine="python",
+    )
+
+
+def run_core_guarded(
+    cg: CompiledGraph,
+    machine: Machine,
+    b: int,
+    *,
+    suffix_start: int,
+    frontier: set,
+    data_reuse: bool = False,
+):
+    """Program-order python event loop capturing resume checkpoints.
+
+    Bit-identical to ``run_core(..., prio=None, core="python")`` — the
+    checkpoint captures are pure state copies taken between events.
+    Returns ``((makespan, busy, messages), ck0, ck1)``; ``ck1`` is None
+    when the heap drains before any frontier finish (empty frontier) or
+    when this graph's suffix contains a zero-predecessor task (its t=0
+    launch contaminates the loop state, see
+    :mod:`repro.runtime.incremental`).
+    """
+    ident = list(range(cg.ntasks))
+    params = _machine_params(machine, b)
+    pair_prod, pair_dest = _slot_pair_arrays(cg)
+    mk, busy, messages, _, _, _, ck0, ck1 = _py_loop(
+        cg.ntasks, *params[:2],
+        cg.dur_table[cg.kind].tolist(), cg.node.tolist(),
+        cg.pred_counts.tolist(),
+        cg.succ_ptr.tolist(), cg.succ_idx.tolist(),
+        cg.edge_slot.tolist(), cg.nslots,
+        ident, ident,
+        *params[2:],
+        data_reuse,
+        suffix_start=suffix_start, frontier=frontier,
+        pair_prod=pair_prod, pair_dest=pair_dest,
+    )
+    return (mk, busy, messages), ck0, ck1
+
+
+def run_core_resumed(
+    cg: CompiledGraph,
+    machine: Machine,
+    b: int,
+    ck: SimCheckpoint,
+    *,
+    data_reuse: bool = False,
+):
+    """Continue a checkpoint on a graph sharing the checkpoint's prefix.
+
+    Returns ``(makespan, busy, messages)`` — bit-identical to a fresh
+    run of ``cg`` when the caller honored the ck0/ck1 selection rule
+    (ck1 only when the new suffix has no zero-predecessor tasks).
+    """
+    ident = list(range(cg.ntasks))
+    params = _machine_params(machine, b)
+    pair_prod, pair_dest = _slot_pair_arrays(cg)
+    mk, busy, messages, _, _, _, _, _ = _py_loop(
+        cg.ntasks, *params[:2],
+        cg.dur_table[cg.kind].tolist(), cg.node.tolist(),
+        cg.pred_counts.tolist(),
+        cg.succ_ptr.tolist(), cg.succ_idx.tolist(),
+        cg.edge_slot.tolist(), cg.nslots,
+        ident, ident,
+        *params[2:],
+        data_reuse,
+        resume_from=ck,
+        pair_prod=pair_prod, pair_dest=pair_dest,
+    )
+    return (mk, busy, messages)
+
+
+# --------------------------------------------------------------------- #
+# batched dispatch
+# --------------------------------------------------------------------- #
+def run_core_batch(
+    graphs,
+    machine: Machine,
+    b: int,
+    *,
+    prios=None,
+    data_reuse: bool = False,
+    core: str | None = None,
+) -> list[SimulationResult]:
+    """Run many compiled graphs through the cluster loop in one dispatch.
+
+    All graphs share the machine, tile size, and data-reuse flag (one
+    sweep); ``prios`` is an optional per-graph priority-vector list.  The
+    C path concatenates every graph into one structure-of-arrays arena
+    and makes a *single* Python->C call (``hqr_simulate_cluster_batch``),
+    fanned out over points with OpenMP when the core was built with it
+    (``REPRO_SIM_THREADS`` overrides the thread count).  Results are
+    bit-identical to calling :func:`run_core` per graph — the C side
+    runs the exact scalar loop on per-point array slices, and the
+    fallback path *is* the per-graph loop.
+    """
+    npoints = len(graphs)
+    if npoints == 0:
+        return []
+    if prios is None:
+        prios = [None] * npoints
+    if len(prios) != npoints:
+        raise ValueError(
+            f"prios has {len(prios)} entries for {npoints} graphs"
+        )
+    rec = _obs_active()
+    wall0 = time.perf_counter() if rec is not None else 0.0
+    tile_bytes = machine.tile_bytes(b)
+
+    lib = _pick_engine(core)
+    if lib is not None and rec is not None and rec.want_tasks:
+        # task-level recording demotes the whole batch to the Python
+        # loop; the per-point fallback below emits one engine_fallback
+        # note per graph — identical attribution to the scalar path
+        lib = None
+    results: list[SimulationResult | None] = [None] * npoints
+    # empty graphs never reach the C core: malloc(0) is allowed to return
+    # NULL, which the scalar loop would misread as allocation failure
+    live = [i for i in range(npoints) if graphs[i].ntasks > 0]
+    for i in range(npoints):
+        if graphs[i].ntasks == 0:
+            results[i] = SimulationResult(
+                0.0, 0.0, 0, 0, 0.0, machine.cores, None
+            )
+
+    batch = None
+    if lib is not None and live:
+        with stage("dispatch_pack"):
+            batch = _pack_batch(graphs, prios, live)
+    if batch is not None:
+        with stage("dispatch_compute"):
+            out = _c_cluster_batch(lib, batch, machine, b, data_reuse)
+        if out is None:
+            batch = None  # allocation failure: retry per point in Python
+        else:
+            makespans, busys, msgs = out
+            for j, i in enumerate(live):
+                cg = graphs[i]
+                results[i] = SimulationResult(
+                    makespan=float(makespans[j]),
+                    flops=qr_flops(cg.m * b, cg.n * b),
+                    messages=int(msgs[j]),
+                    bytes_sent=int(msgs[j]) * tile_bytes,
+                    busy_seconds=float(busys[j]),
+                    cores=machine.cores,
+                    trace=None,
+                )
+            if rec is not None:
+                rec.run(
+                    engine="c-batch",
+                    loop="cluster",
+                    wall_s=time.perf_counter() - wall0,
+                    points=len(live),
+                    ntasks=int(batch["task_off"][-1]),
+                    threads=sim_threads(),
+                    openmp=_ccore.openmp_available(),
+                )
+    if batch is None and live:
+        # bit-identical fallback: the scalar path per point (pure-Python
+        # core, or C per point when only the batch packing failed)
+        with stage("dispatch_compute"):
+            for i in live:
+                results[i] = run_core(
+                    graphs[i], machine, b,
+                    prio=prios[i], data_reuse=data_reuse, core=core,
+                ).result
+    return results  # type: ignore[return-value]
+
+
+def _pack_batch(graphs, prios, live) -> dict:
+    """Concatenate per-point graph arrays into one batch arena."""
+    npoints = len(live)
+    task_off = np.zeros(npoints + 1, dtype=np.int64)
+    edge_off = np.zeros(npoints + 1, dtype=np.int64)
+    slot_off = np.zeros(npoints + 1, dtype=np.int64)
+    for j, i in enumerate(live):
+        cg = graphs[i]
+        task_off[j + 1] = task_off[j] + cg.ntasks
+        edge_off[j + 1] = edge_off[j] + len(cg.succ_idx)
+        slot_off[j + 1] = slot_off[j] + cg.nslots
+    cat = np.concatenate
+    ranks = []
+    orders = []
+    for j, i in enumerate(live):
+        r, o = priority_ranks(prios[i], graphs[i].ntasks)
+        ranks.append(r)
+        orders.append(o)
+    live_graphs = [graphs[i] for i in live]
+    dur_tables = np.ascontiguousarray(
+        np.stack([cg.dur_table for cg in live_graphs]).ravel(), dtype=np.float64
+    )
+    return {
+        "task_off": task_off,
+        "edge_off": edge_off,
+        "slot_off": slot_off,
+        "dur_tables": dur_tables,
+        "kind": np.ascontiguousarray(cat([cg.kind for cg in live_graphs])),
+        "node": np.ascontiguousarray(cat([cg.node for cg in live_graphs])),
+        "waiting": np.ascontiguousarray(
+            cat([cg.pred_counts for cg in live_graphs])
+        ),
+        "succ_ptr": np.ascontiguousarray(
+            cat([cg.succ_ptr for cg in live_graphs])
+        ),
+        "succ_idx": np.ascontiguousarray(
+            cat([cg.succ_idx for cg in live_graphs])
+        ),
+        "edge_slot": np.ascontiguousarray(
+            cat([cg.edge_slot for cg in live_graphs])
+        ),
+        "rank": np.ascontiguousarray(cat(ranks)),
+        "task_of_rank": np.ascontiguousarray(cat(orders)),
+    }
+
+
+def _c_cluster_batch(lib, batch, machine: Machine, b: int, data_reuse: bool):
+    npoints = len(batch["task_off"]) - 1
+    (
+        nnodes, cores_per_node, serialized, hierarchical,
+        lat_intra, bwt_intra, lat_inter, bwt_inter, site,
+    ) = _machine_params(machine, b)
+    site_of = np.asarray(site, dtype=np.int32)
+    out_mk = np.zeros(npoints, dtype=np.float64)
+    out_busy = np.zeros(npoints, dtype=np.float64)
+    out_msgs = np.zeros(npoints, dtype=np.int64)
+    out_rc = np.zeros(npoints, dtype=np.int32)
+    i32, i64, f64 = ctypes.c_int32, ctypes.c_int64, ctypes.c_double
+    rc = lib.hqr_simulate_cluster_batch(
+        i64(npoints), i32(sim_threads()),
+        _ptr(batch["task_off"], i64), _ptr(batch["edge_off"], i64),
+        _ptr(batch["slot_off"], i64),
+        i32(nnodes), i32(cores_per_node),
+        _ptr(batch["dur_tables"], f64),
+        _ptr(batch["kind"], ctypes.c_int8),
+        _ptr(batch["node"], i32), _ptr(batch["waiting"], i32),
+        _ptr(batch["succ_ptr"], i64), _ptr(batch["succ_idx"], i32),
+        _ptr(batch["edge_slot"], i32),
+        _ptr(batch["rank"], i32), _ptr(batch["task_of_rank"], i32),
+        i32(1 if serialized else 0), i32(1 if hierarchical else 0),
+        f64(lat_intra), f64(bwt_intra),
+        f64(lat_inter), f64(bwt_inter),
+        _ptr(site_of, i32), i32(1 if data_reuse else 0),
+        _ptr(out_mk, f64), _ptr(out_busy, f64), _ptr(out_msgs, i64),
+        _ptr(out_rc, i32),
+    )
+    if rc != 0:
+        if np.any(out_rc == 1):  # pragma: no cover - cycle guard
+            raise RuntimeError("simulation stalled with unfinished tasks")
+        return None  # allocation failure somewhere: retry in Python
+    return out_mk, out_busy, out_msgs

@@ -35,6 +35,13 @@ per graph) and arrival event codes are re-based from ``ntasks_old`` to
 ``ntasks_new`` (finish codes are below both, so heap order — and hence
 the schedule — is preserved).
 
+The guarded/resumed event loop itself is the unified core's checkpoint
+capability (:func:`repro.runtime.core.run_core_guarded` /
+:func:`repro.runtime.core.run_core_resumed` — the same ``_py_loop`` every
+other front end runs, with snapshot/splice hooks enabled); this module
+owns the sweep *planning*: which consecutive pairs share enough prefix to
+pay off, the ck0/ck1 selection rule, and cache plumbing.
+
 Scope: program-order priorities (``prio=None``), no task-level recording,
 equal ``n``/layout/machine/``b`` between the pair (``m`` may differ).
 :func:`run_sweep_incremental` plans consecutive pairs, alternating a
@@ -48,14 +55,16 @@ Results are bit-identical to :func:`repro.runtime.compiled
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
-
-import numpy as np
 
 from repro.dag.compiled import CompiledGraph
 from repro.obs.events import active as _obs_active
 from repro.obs.profile import stage
+from repro.runtime.core import (  # noqa: F401  (SimCheckpoint re-exported)
+    SimCheckpoint,
+    run_core_guarded,
+    run_core_resumed,
+)
 from repro.runtime.machine import Machine
 from repro.runtime.simulator import SimulationResult, qr_flops
 
@@ -83,76 +92,6 @@ def common_prefix_len(a, b) -> int:
     return n
 
 
-@dataclass
-class SimCheckpoint:
-    """Event-loop state restricted to the shared task prefix.
-
-    ``phase`` records where the capture happened (``scan`` = ck0,
-    ``loop`` = ck1).  All prefix-indexed arrays are sliced to
-    ``suffix_start``; ``slot_pairs`` maps touched message slots to their
-    arrival times by graph-independent ``(producer, dest-node)`` keys;
-    ``events`` still carries donor-graph arrival codes (re-based against
-    ``ntasks`` on resume).
-    """
-
-    suffix_start: int
-    ntasks: int
-    phase: str
-    events: list
-    data_ready: list
-    waiting: list
-    state: bytes
-    free_cores: list
-    ready: list
-    chan_free: list
-    slot_pairs: dict
-    busy: float
-    finish_time: float
-    messages: int
-
-
-def _machine_params(machine: Machine, b: int):
-    tile_bytes = machine.tile_bytes(b)
-    hierarchical = machine.site_size > 0
-    inf = float("inf")
-    bwt_intra = tile_bytes / machine.bandwidth if machine.bandwidth != inf else 0.0
-    bwt_inter = (
-        tile_bytes / machine.inter_site_bandwidth if hierarchical else 0.0
-    )
-    if hierarchical:
-        site = (np.arange(machine.nodes) // machine.site_size).tolist()
-    else:
-        site = [0] * machine.nodes
-    return (
-        machine.nodes,
-        machine.cores_per_node,
-        machine.comm_serialized,
-        hierarchical,
-        machine.latency,
-        bwt_intra,
-        machine.inter_site_latency,
-        bwt_inter,
-        site,
-    )
-
-
-def _slot_pair_arrays(cg: CompiledGraph) -> tuple[list, list]:
-    """Per-slot ``(producer task, destination node)`` — the
-    graph-independent identity of each message slot."""
-    nslots = cg.nslots
-    prod = np.zeros(nslots, dtype=np.int64)
-    dest = np.zeros(nslots, dtype=np.int64)
-    if nslots:
-        producer = np.repeat(
-            np.arange(cg.ntasks, dtype=np.int64), np.diff(cg.succ_ptr)
-        )
-        mask = cg.edge_slot >= 0
-        slots = cg.edge_slot[mask]
-        prod[slots] = producer[mask]
-        dest[slots] = cg.node[cg.succ_idx[mask]]
-    return prod.tolist(), dest.tolist()
-
-
 def simulate_guarded(
     cg: CompiledGraph,
     machine: Machine,
@@ -171,11 +110,10 @@ def simulate_guarded(
     when this graph's suffix contains a zero-predecessor task (its t=0
     launch contaminates the loop state, see module docstring).
     """
-    out = _run_cluster(
-        cg, machine, b, data_reuse,
-        suffix_start=suffix_start, frontier=frontier,
+    return run_core_guarded(
+        cg, machine, b,
+        suffix_start=suffix_start, frontier=frontier, data_reuse=data_reuse,
     )
-    return out
 
 
 def resume_simulation(
@@ -192,230 +130,7 @@ def resume_simulation(
     run of ``cg`` when the caller honored the ck0/ck1 selection rule
     (ck1 only when the new suffix has no zero-predecessor tasks).
     """
-    (result, _, _) = _run_cluster(
-        cg, machine, b, data_reuse, resume_from=ck
-    )
-    return result
-
-
-def _run_cluster(
-    cg: CompiledGraph,
-    machine: Machine,
-    b: int,
-    data_reuse: bool,
-    *,
-    suffix_start: int | None = None,
-    frontier: set | None = None,
-    resume_from: SimCheckpoint | None = None,
-):
-    """One python cluster event loop, guarded or resumed.
-
-    The loop body mirrors ``repro.runtime.compiled._py_cluster`` with
-    identity ranks (ready heaps hold task ids directly — identical order
-    to rank heaps under program-order priorities).
-    """
-    ntasks = cg.ntasks
-    (
-        nnodes, cores_per_node, serialized, hierarchical,
-        lat_intra, bwt_intra, lat_inter, bwt_inter, site,
-    ) = _machine_params(machine, b)
-
-    dur = cg.dur_table[cg.kind].tolist()
-    node = cg.node.tolist()
-    sp = cg.succ_ptr.tolist()
-    si = cg.succ_idx.tolist()
-    slot_of = cg.edge_slot.tolist()
-    pair_prod, pair_dest = _slot_pair_arrays(cg)
-
-    push, pop = heapq.heappush, heapq.heappop
-    guard = resume_from is None and suffix_start is not None
-
-    if resume_from is None:
-        waiting = cg.pred_counts.tolist()
-        data_ready = [0.0] * ntasks
-        free_cores = [cores_per_node] * nnodes
-        ready: list[list[int]] = [[] for _ in range(nnodes)]
-        chan_free = [0.0] * nnodes
-        slot_arrival = [-1.0] * cg.nslots
-        state = bytearray(ntasks)
-        events: list[tuple[float, int]] = []
-        busy = 0.0
-        finish_time = 0.0
-        messages = 0
-        scan_from = 0
-    else:
-        ck = resume_from
-        tc = ck.suffix_start
-        if tc > ntasks:
-            raise ValueError(
-                f"checkpoint prefix {tc} exceeds graph size {ntasks}"
-            )
-        pc = cg.pred_counts
-        waiting = list(ck.waiting) + pc[tc:].tolist()
-        data_ready = list(ck.data_ready) + [0.0] * (ntasks - tc)
-        state = bytearray(ck.state) + bytearray(ntasks - tc)
-        free_cores = list(ck.free_cores)
-        ready = [list(h) for h in ck.ready]
-        chan_free = list(ck.chan_free)
-        slot_arrival = [-1.0] * cg.nslots
-        if ck.slot_pairs:
-            pair_to_slot = {
-                (pair_prod[s], pair_dest[s]): s for s in range(cg.nslots)
-            }
-            for pair, arr in ck.slot_pairs.items():
-                slot_arrival[pair_to_slot[pair]] = arr
-        # re-base arrival codes from the donor's ntasks; finish codes are
-        # task ids below both sizes, so every heap comparison — and hence
-        # the pop order — is unchanged
-        shift = ntasks - ck.ntasks
-        events = [
-            (tm, code if code < ck.ntasks else code + shift)
-            for tm, code in ck.events
-        ]
-        busy = ck.busy
-        finish_time = ck.finish_time
-        messages = ck.messages
-        scan_from = tc
-
-    def try_start(t: int, now: float) -> None:
-        nd = node[t]
-        dr = data_ready[t]
-        start = dr if dr > now else now
-        if free_cores[nd] > 0:
-            free_cores[nd] -= 1
-            launch(t, start)
-        else:
-            state[t] = 1
-            push(ready[nd], t)
-
-    def launch(t: int, start: float) -> None:
-        nonlocal busy, finish_time
-        state[t] = 2
-        d = dur[t]
-        end = start + d
-        busy += d
-        if end > finish_time:
-            finish_time = end
-        push(events, (end, t))
-
-    def snapshot(phase: str) -> SimCheckpoint:
-        cut = suffix_start
-        touched = {}
-        for s, arr in enumerate(slot_arrival):
-            if arr >= 0.0:
-                touched[(pair_prod[s], pair_dest[s])] = arr
-        return SimCheckpoint(
-            suffix_start=cut,
-            ntasks=ntasks,
-            phase=phase,
-            events=list(events),
-            data_ready=data_ready[:cut],
-            waiting=waiting[:cut],
-            state=bytes(state[:cut]),
-            free_cores=list(free_cores),
-            ready=[list(h) for h in ready],
-            chan_free=list(chan_free),
-            slot_pairs=touched,
-            busy=busy,
-            finish_time=finish_time,
-            messages=messages,
-        )
-
-    ck0 = None
-    suffix_seeded = False
-    for t in range(scan_from, ntasks):
-        if guard and t == suffix_start:
-            ck0 = snapshot("scan")
-        if waiting[t] == 0:
-            if guard and t >= suffix_start:
-                # a zero-predecessor *suffix* task enters the schedule at
-                # t=0: everything from here on (busy time, core occupancy,
-                # its finish event) belongs to this graph's suffix, so no
-                # loop-phase checkpoint can be resumed onto another graph
-                suffix_seeded = True
-            try_start(t, 0.0)
-    if guard and ck0 is None:  # suffix_start == ntasks
-        ck0 = snapshot("scan")
-
-    ck1 = None
-    while events:
-        if guard:
-            _, code = events[0]  # peek: heap root is the next pop
-            t = code - ntasks if code >= ntasks else code
-            if t >= suffix_start or (code < ntasks and t in frontier):
-                if not suffix_seeded:
-                    ck1 = snapshot("loop")
-                guard = False
-        now, code = pop(events)
-        if code >= ntasks:
-            try_start(code - ntasks, now)
-            continue
-        t = code
-        nd = node[t]
-        nxt = -1
-        if data_reuse:
-            best = -1
-            for i in range(sp[t], sp[t + 1]):
-                s = si[i]
-                if (
-                    state[s] == 1
-                    and node[s] == nd
-                    and data_ready[s] <= now
-                    and (best < 0 or s < best)
-                ):
-                    best = s
-            nxt = best
-        if nxt < 0:
-            heap = ready[nd]
-            while heap:
-                cand = pop(heap)
-                if state[cand] == 1:
-                    nxt = cand
-                    break
-        if nxt >= 0:
-            dr = data_ready[nxt]
-            launch(nxt, dr if dr > now else now)
-        else:
-            free_cores[nd] += 1
-        for i in range(sp[t], sp[t + 1]):
-            s = si[i]
-            slot = slot_of[i]
-            if slot < 0:
-                arrival = now
-            else:
-                arrival = slot_arrival[slot]
-                if arrival < 0:
-                    dest = node[s]
-                    if hierarchical and site[nd] != site[dest]:
-                        lat, bwt = lat_inter, bwt_inter
-                    else:
-                        lat, bwt = lat_intra, bwt_intra
-                    if serialized:
-                        depart = now
-                        if chan_free[nd] > depart:
-                            depart = chan_free[nd]
-                        if chan_free[dest] > depart:
-                            depart = chan_free[dest]
-                        chan_free[nd] = depart + bwt
-                        chan_free[dest] = depart + bwt
-                        arrival = depart + lat + bwt
-                    else:
-                        arrival = now + lat + bwt
-                    slot_arrival[slot] = arrival
-                    messages += 1
-            if arrival > data_ready[s]:
-                data_ready[s] = arrival
-            waiting[s] -= 1
-            if waiting[s] == 0:
-                avail = data_ready[s]
-                if avail <= now:
-                    try_start(s, now)
-                else:
-                    push(events, (avail, ntasks + s))
-
-    if any(w > 0 for w in waiting):  # pragma: no cover - cycle guard
-        raise RuntimeError("simulation stalled with unfinished tasks")
-    return (finish_time, busy, messages), ck0, ck1
+    return run_core_resumed(cg, machine, b, ck, data_reuse=data_reuse)
 
 
 # --------------------------------------------------------------------- #
@@ -480,7 +195,7 @@ def run_sweep_incremental(
         build_arrays_resumed,
     )
     from repro.hqr.hierarchy import hqr_elimination_list
-    from repro.runtime.compiled import core_mode
+    from repro.runtime.core import core_mode
 
     # an explicit reference-core request means "run the reference engine",
     # so nothing compiled may be reused across points

@@ -21,14 +21,10 @@ Outputs makespan, GFlop/s, per-node busy times, and message statistics.
 
 from __future__ import annotations
 
-import heapq
-import time
 from dataclasses import dataclass
 
 from repro.dag.graph import TaskGraph
 
-from repro.kernels.weights import KernelKind
-from repro.obs.events import active as _obs_active
 from repro.runtime.machine import Machine
 from repro.tiles.layout import Layout
 
@@ -126,222 +122,61 @@ class ClusterSimulator:
     def run(self, graph: TaskGraph, M: int | None = None, N: int | None = None) -> SimulationResult:
         """Simulate; ``M``/``N`` default to full tiles (``m*b x n*b``).
 
-        Dispatches to the compiled array core (see
-        :mod:`repro.runtime.compiled`) unless a trace is requested or
-        ``REPRO_SIM_CORE=reference``; both paths produce bit-identical
-        results.
+        Routes through the unified event-loop core
+        (:func:`repro.runtime.core.run_core`): the native C inner loop
+        when no trace is requested and ``REPRO_SIM_CORE`` allows it, the
+        Python inner loop otherwise — bit-identical either way.
         """
-        if not self.record_trace:
-            from repro.runtime.compiled import core_mode, simulate_compiled
+        from repro.runtime.core import core_mode
 
-            if core_mode() != "reference":
-                from repro.dag.compiled import compile_graph
-
-                cg = compile_graph(graph, self.layout, self.machine, self.b)
-                return simulate_compiled(
-                    cg,
-                    self.machine,
-                    self.b,
-                    prio=self.priority_values(graph),
-                    data_reuse=self.data_reuse,
-                    M=M,
-                    N=N,
-                )
+        if not self.record_trace and core_mode() != "reference":
+            return self._run_core(graph, M, N)
         return self.run_reference(graph, M, N)
+
+    def _run_core(
+        self,
+        graph: TaskGraph,
+        M: int | None,
+        N: int | None,
+        *,
+        core: str | None = None,
+        record_trace: bool = False,
+        engine_label: str | None = None,
+    ) -> SimulationResult:
+        """Compile ``graph`` and run it through the unified core."""
+        from repro.dag.compiled import compile_graph
+        from repro.runtime.core import run_core
+
+        cg = compile_graph(graph, self.layout, self.machine, self.b)
+        return run_core(
+            cg,
+            self.machine,
+            self.b,
+            prio=self.priority_values(graph),
+            data_reuse=self.data_reuse,
+            M=M,
+            N=N,
+            core=core,
+            record_trace=record_trace,
+            engine_label=engine_label,
+        ).result
 
     def run_reference(
         self, graph: TaskGraph, M: int | None = None, N: int | None = None
     ) -> SimulationResult:
-        """The reference pure-Python event loop (also the tracing path)."""
-        machine, b = self.machine, self.b
-        rec = _obs_active()  # event recorder, or None (no-op fast path)
-        wall0 = time.perf_counter() if rec is not None else 0.0
-        M = graph.m * b if M is None else M
-        N = graph.n * b if N is None else N
-        ntasks = len(graph.tasks)
-        if ntasks == 0:
-            return SimulationResult(
-                0.0, 0.0, 0, 0, 0.0, machine.cores,
-                [] if self.record_trace else None,
-                [] if self.record_trace else None,
-            )
+        """The Python inner loop with the historical ``reference`` label.
 
-        node_of = self.placement(graph)
-        seconds = {k: machine.task_seconds(k, b) for k in KernelKind}
-        durations = [seconds[t.kind] for t in graph.tasks]
-        prio = self.priority_values(graph)
-        if prio is None:
-            prio = list(range(ntasks))
-
-        preds, succs = graph.predecessors, graph.successors
-        # waiting[t]: number of (predecessor-data) arrivals still missing
-        waiting = [len(p) for p in preds]
-        data_ready = [0.0] * ntasks  # time when all arrived so far
-        free_cores = [machine.cores_per_node] * machine.nodes
-        ready_heaps: list[list] = [[] for _ in range(machine.nodes)]
-        chan_free = [0.0] * machine.nodes  # per-node comm channel
-        tile_bytes = machine.tile_bytes(b)
-        serialized = machine.comm_serialized
-        hierarchical = machine.site_size > 0
-        bw_time = tile_bytes / machine.bandwidth if machine.bandwidth != float("inf") else 0.0
-        latency = machine.latency
-
-        sent: dict[tuple[int, int], float] = {}  # (producer, dest) -> arrival
-        events: list[tuple[float, int, int, int]] = []  # (time, kind, a, b)
-        # kinds: 0 = task finished (a=task), 1 = data arrival (a=task waiting, b=unused)
-        # task states for lazy heap deletion (data-reuse launches out of order)
-        QUEUED, LAUNCHED = 1, 2
-        state = bytearray(ntasks)
-        data_reuse = self.data_reuse
-        messages = 0
-        busy = 0.0
-        trace: list[tuple[int, int, float, float]] | None = (
-            [] if self.record_trace else None
-        )
-        comm: list[tuple[int, int, int, float, float]] | None = (
-            [] if self.record_trace else None
-        )
-        finish_time = 0.0
-        # ready-queue depth accounting, only under task-level recording
-        observe = rec is not None and rec.want_tasks
-        queued = [0] * machine.nodes if observe else None
-
-        def try_start(t: int, now: float) -> None:
-            """Task t has all data at its node; run it or queue it."""
-            node = node_of[t]
-            start = max(now, data_ready[t])
-            if free_cores[node] > 0:
-                free_cores[node] -= 1
-                _launch(t, start)
-            else:
-                state[t] = QUEUED
-                heapq.heappush(ready_heaps[node], (prio[t], t))
-                if observe:
-                    queued[node] += 1
-                    rec.queue_depth(now, node, queued[node])
-
-        def _launch(t: int, start: float) -> None:
-            nonlocal busy, finish_time
-            state[t] = LAUNCHED
-            end = start + durations[t]
-            busy += durations[t]
-            if end > finish_time:
-                finish_time = end
-            heapq.heappush(events, (end, 0, t, 0))
-            if trace is not None:
-                trace.append((t, node_of[t], start, end))
-            if observe:
-                rec.task(t, node_of[t], start, end)
-
-        def _pop_next(node: int) -> int | None:
-            """Highest-priority queued task on this node (lazy deletion)."""
-            heap = ready_heaps[node]
-            while heap:
-                _, t = heapq.heappop(heap)
-                if state[t] == QUEUED:
-                    return t
-            return None
-
-        # seed roots
-        for t in range(ntasks):
-            if waiting[t] == 0:
-                try_start(t, 0.0)
-
-        while events:
-            now, kind, a, _ = heapq.heappop(events)
-            if kind == 0:
-                # task a finished on its node: free the core, start next
-                t = a
-                node = node_of[t]
-                nxt = None
-                if data_reuse:
-                    # DAGuE heuristic: prefer a ready successor of the task
-                    # that just finished — its data is still hot
-                    best = None
-                    for s in succs[t]:
-                        if (
-                            state[s] == QUEUED
-                            and node_of[s] == node
-                            and data_ready[s] <= now
-                            and (best is None or prio[s] < prio[best])
-                        ):
-                            best = s
-                    nxt = best
-                if nxt is None:
-                    nxt = _pop_next(node)
-                if nxt is not None:
-                    if observe:
-                        queued[node] -= 1
-                        rec.queue_depth(now, node, queued[node])
-                    _launch(nxt, max(now, data_ready[nxt]))
-                else:
-                    free_cores[node] += 1
-                # propagate data to successors
-                for s in succs[t]:
-                    dest = node_of[s]
-                    if dest == node:
-                        arrival = now
-                    else:
-                        key = (t, dest)
-                        arrival = sent.get(key, -1.0)
-                        if arrival < 0:
-                            if hierarchical:
-                                lat, bw = machine.link(node, dest)
-                                bwt = tile_bytes / bw
-                            else:
-                                lat, bwt = latency, bw_time
-                            if serialized:
-                                # the transfer holds both endpoints' single
-                                # communication channel for its bandwidth term
-                                depart = max(now, chan_free[node], chan_free[dest])
-                                chan_free[node] = depart + bwt
-                                chan_free[dest] = depart + bwt
-                                arrival = depart + lat + bwt
-                            else:
-                                depart = now
-                                arrival = now + lat + bwt
-                            sent[key] = arrival
-                            messages += 1
-                            if comm is not None:
-                                comm.append((t, node, dest, depart, arrival))
-                            if observe:
-                                rec.comm(
-                                    t, node, dest, depart, arrival, tile_bytes
-                                )
-                    if arrival > data_ready[s]:
-                        data_ready[s] = arrival
-                    waiting[s] -= 1
-                    if waiting[s] == 0:
-                        # do not tie up a core before the slowest input lands
-                        avail = data_ready[s]
-                        if avail <= now:
-                            try_start(s, now)
-                        else:
-                            heapq.heappush(events, (avail, 1, s, 0))
-            else:
-                # data arrival completes task a's inputs
-                try_start(a, now)
-
-        if any(w > 0 for w in waiting):  # pragma: no cover - cycle guard
-            raise RuntimeError("simulation stalled with unfinished tasks")
-
-        if rec is not None:
-            rec.run(
-                engine="reference",
-                loop="cluster",
-                wall_s=time.perf_counter() - wall0,
-                makespan=finish_time,
-                busy_seconds=busy,
-                messages=messages,
-                ntasks=ntasks,
-            )
-        return SimulationResult(
-            makespan=finish_time,
-            flops=qr_flops(M, N),
-            messages=messages,
-            bytes_sent=messages * tile_bytes,
-            busy_seconds=busy,
-            cores=machine.cores,
-            trace=trace,
-            comm_trace=comm,
+        This is the tracing path: under ``record_trace`` it captures the
+        task trace and the comm trace consumed by the verify oracle.  The
+        loop itself is the unified core's Python branch
+        (:func:`repro.runtime.core.run_core` with ``core="python"``) —
+        bit-identical to every other dispatch of the same configuration.
+        """
+        return self._run_core(
+            graph,
+            M,
+            N,
+            core="python",
+            record_trace=self.record_trace,
+            engine_label="reference",
         )

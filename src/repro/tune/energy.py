@@ -11,7 +11,7 @@ a whole proposal batch per call:
   :func:`~repro.dag.cache.default_cache` via
   :func:`~repro.bench.runner.compiled_graph_for`;
 * the surviving unique graphs go through **one** batched dispatch —
-  :func:`~repro.runtime.compiled.simulate_compiled_batch`, a single
+  :func:`~repro.runtime.core.run_core_batch`, a single
   Python→C call fanned out with OpenMP when the native core is present,
   bit-identical to per-point simulation otherwise.
 
@@ -128,7 +128,7 @@ class EnergyEvaluator:
 
     # ------------------------------------------------------------------ #
     def _simulate_fresh(self, fresh: dict[str, VerifyCase]) -> None:
-        from repro.runtime.compiled import core_mode
+        from repro.runtime.core import core_mode
 
         self.evaluations += len(fresh)
         if core_mode() == "reference":
@@ -136,7 +136,7 @@ class EnergyEvaluator:
                 self._memo[key] = self._reference_makespan(case)
             return
         from repro.bench.runner import compiled_graph_for
-        from repro.runtime.compiled import simulate_compiled_batch
+        from repro.runtime.core import run_core_batch
 
         items = list(fresh.items())
         graphs = [
@@ -146,7 +146,7 @@ class EnergyEvaluator:
             )
             for _, case in items
         ]
-        results = simulate_compiled_batch(graphs, self.machine, self.b)
+        results = run_core_batch(graphs, self.machine, self.b)
         for (key, _), res in zip(items, results):
             self._memo[key] = res.makespan
 

@@ -1,13 +1,13 @@
 """Cross-engine differential verifier and schedule-legality oracle.
 
-The repo has four execution paths that all claim the same semantics — the
-reference Python event loop, the compiled array core (Python and C
-engines), and the fault-free path of the resilient simulator — plus a
-fingerprint-keyed graph cache.  The paper's elimination-list algebra
-promises that *any* tree combination yields a valid, bit-reproducible
-schedule, so silent divergence between engines invalidates every
-benchmark number.  This package is the standing correctness tool that
-enforces that promise:
+Every front end funnels into the unified event loop of
+:mod:`repro.runtime.core`, which still carries two genuinely distinct
+implementations — the Python inner loop and the native C inner loop —
+plus a fingerprint-keyed graph cache.  The paper's elimination-list
+algebra promises that *any* tree combination yields a valid,
+bit-reproducible schedule, so silent divergence between implementations
+invalidates every benchmark number.  This package is the standing
+correctness tool that enforces that promise:
 
 * :mod:`repro.verify.generator` — seeded sampling of HQR configurations
   (trees x domino x ``a`` x grids x machine shapes x priorities), plus

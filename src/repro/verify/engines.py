@@ -1,23 +1,28 @@
 """Cross-engine execution of one verification case.
 
-Each engine is a callable ``(case, graph) -> SimulationResult`` executing
-the same schedule through a different code path:
+Since the engine unification (:mod:`repro.runtime.core`) every front end
+funnels into a single event loop, so what used to be a four-way product
+of hand-maintained loops (reference / compiled-python / compiled-C /
+resilient) is now a two-way differential over the core's genuinely
+distinct *implementations*:
 
-* ``reference`` — the pure-Python event loop of
-  :meth:`ClusterSimulator.run_reference`, with trace recording on (it
-  feeds the legality oracle);
-* ``compiled-python`` — the flat-array event loop of
-  :func:`repro.runtime.compiled.simulate_compiled` with the Python core;
-* ``compiled-c`` — the same loop through the native C core (present only
-  when a system compiler is available);
-* ``resilient`` — the fault-injecting loop of
-  :class:`~repro.resilience.simulate.ResilientSimulator` driven with an
-  empty :class:`FaultSchedule` (``force_fault_loop=True``), which must be
-  bit-identical to the fault-free engines.
+* ``core`` — the unified loop's Python branch with trace recording on
+  (its task and comm traces feed the legality oracle);
+* ``core-c`` — the same schedule through the native C inner loop
+  (present only when a system compiler is available); honors
+  ``case.batched`` by dispatching a batch of one through the batched
+  arena path, which must agree bitwise with the scalar dispatch.
 
-All four paths must agree *bitwise* on makespan, message count, bytes
-moved, busy seconds, and flops — :func:`result_key` extracts the compared
-tuple and :func:`run_engines` executes every engine.
+The collapsed engines did not lose coverage — they lost duplication:
+``reference`` and ``compiled-python`` are literally the same code path
+now, and the empty-schedule fault loop (``force_fault_loop=True``) is
+pinned bit-identical to the plain core by
+``tests/runtime/test_core_equivalence.py`` across the whole capability
+matrix, so re-running it per verify case proved nothing new.
+
+Both paths must agree *bitwise* on makespan, message count, bytes moved,
+busy seconds, and flops — :func:`result_key` extracts the compared tuple
+and :func:`run_engines` executes every engine.
 """
 
 from __future__ import annotations
@@ -59,69 +64,56 @@ def _simulator(case, graph, cls=ClusterSimulator, **kwargs):
     )
 
 
-def reference_engine(case, graph) -> SimulationResult:
-    """Reference event loop, recording the task and comm traces."""
+def core_engine(case, graph) -> SimulationResult:
+    """The core's Python branch, recording the task and comm traces."""
     return _simulator(case, graph, record_trace=True).run_reference(graph)
 
 
-def _compiled_engine(core: str) -> Engine:
-    def engine(case, graph) -> SimulationResult:
-        from repro.dag.compiled import compile_graph
-        from repro.runtime.compiled import (
-            simulate_compiled,
-            simulate_compiled_batch,
-        )
+#: historical name of the traced baseline, kept for callers and tests
+reference_engine = core_engine
 
-        sim = _simulator(case, graph)
-        cg = compile_graph(graph, sim.layout, sim.machine, case.b)
-        prio = sim.priority_values(graph)
-        if getattr(case, "batched", False):
-            # batched dispatch of a batch of one: must agree bitwise with
-            # every scalar engine
-            return simulate_compiled_batch(
-                [cg],
-                sim.machine,
-                case.b,
-                prios=[prio],
-                data_reuse=case.data_reuse,
-                core=core,
-            )[0]
-        return simulate_compiled(
-            cg,
+
+def core_c_engine(case, graph) -> SimulationResult:
+    """The same schedule through the native C inner loop.
+
+    ``case.batched`` routes a batch of one through the batched arena
+    dispatch instead — bit-identical to the scalar call by contract.
+    """
+    from repro.dag.compiled import compile_graph
+    from repro.runtime.core import run_core, run_core_batch
+
+    sim = _simulator(case, graph)
+    cg = compile_graph(graph, sim.layout, sim.machine, case.b)
+    prio = sim.priority_values(graph)
+    if getattr(case, "batched", False):
+        return run_core_batch(
+            [cg],
             sim.machine,
             case.b,
-            prio=prio,
+            prios=[prio],
             data_reuse=case.data_reuse,
-            core=core,
-        )
-
-    engine.__name__ = f"compiled_{core}_engine"
-    return engine
-
-
-def resilient_engine(case, graph) -> SimulationResult:
-    """Fault loop with an empty schedule — the fourth execution path."""
-    from repro.resilience.faults import FaultSchedule
-    from repro.resilience.simulate import ResilientSimulator
-
-    sim = _simulator(case, graph, cls=ResilientSimulator)
-    return sim.run_with_faults(
-        graph, FaultSchedule(), baseline_makespan=0.0, force_fault_loop=True
-    )
+            core="c",
+        )[0]
+    return run_core(
+        cg,
+        sim.machine,
+        case.b,
+        prio=prio,
+        data_reuse=case.data_reuse,
+        core="c",
+    ).result
 
 
 def available_engines() -> dict[str, Engine]:
     """The engine registry, in deterministic comparison order.
 
-    ``compiled-c`` is included only when the native core can be built.
+    ``core`` is always first (it is the divergence baseline and the
+    oracle's trace source); ``core-c`` is included only when the native
+    inner loop can be built.
     """
-    engines: dict[str, Engine] = {
-        "reference": reference_engine,
-        "compiled-python": _compiled_engine("python"),
-    }
+    engines: dict[str, Engine] = {"core": core_engine}
     if native_available():
-        engines["compiled-c"] = _compiled_engine("c")
-    engines["resilient"] = resilient_engine
+        engines["core-c"] = core_c_engine
     return engines
 
 

@@ -7,7 +7,7 @@ One verification *case* runs through five checks:
 2. every engine executes it (exceptions are failures, not crashes);
 3. all engines agree bitwise on
    :func:`~repro.verify.engines.result_key`;
-4. the reference trace passes every oracle invariant
+4. the baseline engine's trace passes every oracle invariant
    (:mod:`repro.verify.oracle`);
 5. any failure is shrunk over ``(m, n, a, p, q)`` to a minimal repro.
 
@@ -97,9 +97,9 @@ def verify_case(
             {"baseline": ref_name, "diverged": diverged},
         )
 
-    reference = results.get("reference")
-    if reference is not None and reference.trace is not None:
-        violations = check_schedule(case, graph, reference)
+    baseline = results[ref_name]
+    if baseline.trace is not None:
+        violations = check_schedule(case, graph, baseline)
         if violations:
             return CaseFailure(
                 case,

@@ -66,3 +66,38 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["bogus"])
+
+
+class TestScopedEnv:
+    """The one env save/set/restore helper behind --scale/--engine."""
+
+    def test_restores_on_raise(self, monkeypatch):
+        import os
+
+        from repro.cli import _scoped_env
+
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+        monkeypatch.delenv("REPRO_SIM_CORE", raising=False)
+        with pytest.raises(RuntimeError):
+            with _scoped_env(
+                REPRO_BENCH_SCALE="large", REPRO_SIM_CORE="python"
+            ):
+                assert os.environ["REPRO_BENCH_SCALE"] == "large"
+                assert os.environ["REPRO_SIM_CORE"] == "python"
+                raise RuntimeError("boom")
+        # a raise inside the body must not leak the overrides: the set
+        # variable is restored, the unset one is deleted (not blanked)
+        assert os.environ["REPRO_BENCH_SCALE"] == "tiny"
+        assert "REPRO_SIM_CORE" not in os.environ
+
+    def test_none_requests_no_override(self, monkeypatch):
+        import os
+
+        from repro.cli import _scoped_env
+
+        monkeypatch.setenv("REPRO_SIM_CORE", "c")
+        with _scoped_env(REPRO_SIM_CORE=None, REPRO_BENCH_SCALE=None):
+            assert os.environ["REPRO_SIM_CORE"] == "c"
+            assert "REPRO_BENCH_SCALE" not in os.environ
+        assert os.environ["REPRO_SIM_CORE"] == "c"
+        assert "REPRO_BENCH_SCALE" not in os.environ

@@ -166,14 +166,22 @@ class TestOverhead:
         overhead under the 5% budget by construction."""
         import dis
 
-        from repro.runtime import simulator
+        from repro.runtime import core
 
         assert active() is None
-        # run_reference guards per-event emission behind `observe`, a
-        # local computed once; confirm the source discipline holds
-        code = dis.Bytecode(simulator.ClusterSimulator.run_reference)
+        # run_core reads the recorder slot once per run and hands it to
+        # the loop as a parameter; confirm the source discipline holds
+        code = dis.Bytecode(core.run_core)
         names = {i.argval for i in code if i.opname == "LOAD_GLOBAL"}
         assert "_obs_active" in names
+        # the event loop itself never touches the global slot: per-event
+        # emission is gated on locals computed before the first event
+        loop_names = {
+            i.argval
+            for i in dis.Bytecode(core._py_loop)
+            if i.opname == "LOAD_GLOBAL"
+        }
+        assert "_obs_active" not in loop_names
 
     def test_summary_recording_overhead_bounded(self):
         """summary-level recording (C core preserved) stays near the

@@ -1,0 +1,297 @@
+"""The unified core vs the frozen golden fixtures, flag by flag.
+
+Every capability combination of :func:`repro.runtime.core.run_core` must
+reproduce — bitwise — the values captured from the PRE-unification
+engines (``tests/runtime/fixtures/golden_core.json``): Python and C
+inner loops, trace recording, obs recording at both levels, checkpoint
+(guarded) hooks, batched dispatch, and fault hooks — including the
+empty-schedule ``force_fault_loop`` identity that used to be its own
+verify engine.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro._ccore import native_available
+from repro.dag.compiled import compile_graph
+from repro.obs.events import recording, uninstall
+from repro.runtime.core import (
+    FaultHooks,
+    run_core,
+    run_core_batch,
+    run_core_guarded,
+)
+from repro.runtime.golden import (
+    GOLDEN_RELPATH,
+    comm_digest,
+    fault_golden_cases,
+    float_hex,
+    golden_cases,
+    trace_digest,
+)
+from repro.runtime.simulator import ClusterSimulator
+
+FIXTURE = json.loads(
+    (pathlib.Path(__file__).resolve().parents[2] / GOLDEN_RELPATH).read_text()
+)
+
+CASES = {c.name: c for c in golden_cases()}
+FAULT_CASES = {c.name: c for c in fault_golden_cases()}
+
+
+@pytest.fixture(autouse=True)
+def clean_recorder():
+    uninstall()
+    yield
+    uninstall()
+
+
+def _compiled(case):
+    """Compile one golden case; returns (graph, sim, cg, prio)."""
+    graph = case.graph()
+    sim = ClusterSimulator(
+        case.machine,
+        case.layout(),
+        case.b,
+        priority=case.priority_keys(graph),
+        data_reuse=case.data_reuse,
+    )
+    cg = compile_graph(graph, sim.layout, sim.machine, case.b)
+    return graph, sim, cg, sim.priority_values(graph)
+
+
+def _assert_scalar(res, frozen):
+    assert float_hex(res.makespan) == frozen["makespan"]
+    assert float_hex(res.busy_seconds) == frozen["busy_seconds"]
+    assert float_hex(res.flops) == frozen["flops"]
+    assert res.messages == frozen["messages"]
+    assert res.bytes_sent == frozen["bytes_sent"]
+
+
+@pytest.mark.parametrize("name", sorted(FIXTURE["scalar"]))
+def test_python_loop_with_traces_matches_golden(name):
+    """core="python" + record_trace: every field including both digests."""
+    case = CASES[name]
+    _, _, cg, prio = _compiled(case)
+    frozen = FIXTURE["scalar"][name]
+    assert cg.ntasks == frozen["ntasks"]
+    res = run_core(
+        cg, case.machine, case.b,
+        prio=prio, data_reuse=case.data_reuse,
+        core="python", record_trace=True,
+    ).result
+    _assert_scalar(res, frozen)
+    assert trace_digest(res.trace) == frozen["trace"]
+    assert comm_digest(res.comm_trace) == frozen["comm"]
+
+
+@pytest.mark.parametrize("name", sorted(FIXTURE["scalar"]))
+def test_python_loop_untraced_matches_golden(name):
+    case = CASES[name]
+    _, _, cg, prio = _compiled(case)
+    res = run_core(
+        cg, case.machine, case.b,
+        prio=prio, data_reuse=case.data_reuse, core="python",
+    ).result
+    _assert_scalar(res, FIXTURE["scalar"][name])
+    assert res.trace is None and res.comm_trace is None
+
+
+@pytest.mark.skipif(not native_available(), reason="no C toolchain")
+@pytest.mark.parametrize("name", sorted(FIXTURE["scalar"]))
+def test_c_loop_matches_golden(name):
+    case = CASES[name]
+    _, _, cg, prio = _compiled(case)
+    out = run_core(
+        cg, case.machine, case.b,
+        prio=prio, data_reuse=case.data_reuse, core="c",
+    )
+    assert out.engine == "c"
+    _assert_scalar(out.result, FIXTURE["scalar"][name])
+
+
+@pytest.mark.parametrize("core", ["python", "c"])
+def test_batched_dispatch_matches_golden(core):
+    """One batched call over every golden case == per-case fixtures."""
+    if core == "c" and not native_available():
+        pytest.skip("no C toolchain")
+    # all graphs in one dispatch must share machine/b/data_reuse: group
+    groups = {}
+    for name in sorted(FIXTURE["scalar"]):
+        case = CASES[name]
+        key = (id(case.machine), case.b, case.data_reuse)
+        groups.setdefault(key, []).append(name)
+    for names in groups.values():
+        cases = [CASES[n] for n in names]
+        compiled = [_compiled(c) for c in cases]
+        results = run_core_batch(
+            [cg for _, _, cg, _ in compiled],
+            cases[0].machine,
+            cases[0].b,
+            prios=[prio for _, _, _, prio in compiled],
+            data_reuse=cases[0].data_reuse,
+            core=core,
+        )
+        for name, res in zip(names, results):
+            _assert_scalar(res, FIXTURE["scalar"][name])
+
+
+@pytest.mark.parametrize("level", ["summary", "tasks"])
+@pytest.mark.parametrize("name", ["flat-serialized", "hierarchical-reuse"])
+def test_obs_recording_is_bitwise_neutral(name, level):
+    """Recording on (either level) must not move a single bit."""
+    case = CASES[name]
+    _, _, cg, prio = _compiled(case)
+    with recording(level=level):
+        res = run_core(
+            cg, case.machine, case.b,
+            prio=prio, data_reuse=case.data_reuse,
+        ).result
+    _assert_scalar(res, FIXTURE["scalar"][name])
+
+
+@pytest.mark.parametrize(
+    "name", ["flat-serialized", "flat-unserialized", "hierarchical"]
+)
+def test_guarded_checkpoint_hooks_are_bitwise_neutral(name):
+    """The checkpoint capability (guarded run) must not perturb results.
+
+    Guarded runs require program-order priorities, so only prio=None
+    golden cases participate.
+    """
+    case = CASES[name]
+    assert case.priority is None
+    _, _, cg, _ = _compiled(case)
+    (mk, busy, messages), ck0, _ = run_core_guarded(
+        cg, case.machine, case.b,
+        suffix_start=cg.ntasks // 2, frontier=set(),
+        data_reuse=case.data_reuse,
+    )
+    frozen = FIXTURE["scalar"][name]
+    assert float_hex(mk) == frozen["makespan"]
+    assert float_hex(busy) == frozen["busy_seconds"]
+    assert messages == frozen["messages"]
+    assert ck0 is not None  # the snapshot hook did fire
+
+
+@pytest.mark.parametrize("name", sorted(FIXTURE["faulty"]))
+def test_fault_hooks_match_golden(name):
+    """The fault capability branch, driven directly through FaultHooks."""
+    from repro.resilience.faults import FaultSchedule
+    from repro.resilience.simulate import ResilientSimulator
+
+    fcase = FAULT_CASES[name]
+    base = fcase.base
+    graph = base.graph()
+    sim = ResilientSimulator(
+        base.machine,
+        base.layout(),
+        base.b,
+        priority=base.priority_keys(graph),
+        data_reuse=base.data_reuse,
+        record_trace=True,
+    )
+    frozen = FIXTURE["faulty"][name]
+    baseline = sim.run(graph).makespan
+    assert float_hex(baseline) == frozen["baseline_makespan"]
+    schedule = FaultSchedule.scenario(
+        fcase.scenario,
+        seed=fcase.seed,
+        nodes=base.machine.nodes,
+        horizon=baseline,
+        severity=fcase.severity,
+    )
+    cg = compile_graph(graph, sim.layout, sim.machine, base.b)
+    hooks = FaultHooks(
+        schedule=schedule,
+        replan=lambda dead: sim._replan_targets(graph, dead),
+        fault_events=[],
+    )
+    out = run_core(
+        cg, base.machine, base.b,
+        prio=sim.priority_values(graph),
+        data_reuse=base.data_reuse,
+        record_trace=True,
+        fault=hooks,
+    )
+    res, fo = out.result, out.fault
+    assert float_hex(res.makespan) == frozen["makespan"]
+    assert float_hex(res.busy_seconds) == frozen["busy_seconds"]
+    assert float_hex(fo.wasted) == frozen["wasted_seconds"]
+    assert res.messages == frozen["messages"]
+    assert fo.executions - cg.ntasks == frozen["tasks_reexecuted"]
+    assert fo.aborted == frozen["tasks_aborted"]
+    assert fo.refetches == frozen["refetch_messages"]
+    assert fo.dropped == frozen["messages_dropped"]
+    assert fo.retransmits == frozen["retransmits"]
+    assert list(fo.dead) == frozen["crashed_nodes"]
+    assert trace_digest(res.trace) == frozen["trace"]
+
+
+@pytest.mark.parametrize(
+    "name", ["flat-serialized", "flat-critical-path", "hierarchical"]
+)
+def test_empty_schedule_fault_loop_is_bit_identical(name):
+    """The old ``force_fault_loop`` verify engine, now a flag identity:
+    fault hooks with an empty schedule == fault hooks disabled, bitwise.
+    """
+    from repro.resilience.faults import FaultSchedule
+    from repro.resilience.simulate import ResilientSimulator
+
+    case = CASES[name]
+    graph = case.graph()
+    sim = ResilientSimulator(
+        case.machine,
+        case.layout(),
+        case.b,
+        priority=case.priority_keys(graph),
+        data_reuse=case.data_reuse,
+    )
+    res = sim.run_with_faults(
+        graph, FaultSchedule(), baseline_makespan=0.0, force_fault_loop=True
+    )
+    frozen = FIXTURE["scalar"][name]
+    _assert_scalar(res, frozen)
+    assert res.tasks_reexecuted == 0
+    assert res.tasks_aborted == 0
+    assert res.wasted_seconds == 0.0
+
+
+@pytest.mark.skipif(not native_available(), reason="no C toolchain")
+def test_engine_fallback_note_is_per_graph_in_both_paths():
+    """Task-level recording demotes C to Python with one note per graph —
+    the batched dispatch must attribute exactly like N scalar calls."""
+    case = CASES["flat-serialized"]
+    other = CASES["flat-unserialized"]
+    _, _, cg1, prio1 = _compiled(case)
+
+    with recording(level="tasks") as rec:
+        run_core(cg1, case.machine, case.b, prio=prio1)
+    scalar_notes = [
+        n for n in rec.notes if n.get("kind") == "engine_fallback"
+    ]
+    assert len(scalar_notes) == 1
+
+    _, _, cg2, prio2 = _compiled(other)
+    with recording(level="tasks") as rec:
+        run_core_batch(
+            [cg1, cg1], case.machine, case.b, prios=[prio1, prio1]
+        )
+    batch_notes = [
+        n for n in rec.notes if n.get("kind") == "engine_fallback"
+    ]
+    # one note per demoted graph, not one for the whole batch
+    assert len(batch_notes) == 2
+    for note in batch_notes:
+        assert {
+            k: v for k, v in note.items() if k != "t"
+        } == {k: v for k, v in scalar_notes[0].items() if k != "t"}
+
+    # the unserialized machine differs from cg1's: run its own batch
+    with recording(level="tasks") as rec:
+        run_core_batch([cg2], other.machine, other.b, prios=[prio2])
+    assert sum(
+        1 for n in rec.notes if n.get("kind") == "engine_fallback"
+    ) == 1

@@ -9,7 +9,7 @@ from repro.verify import (
     replay_report,
     verify,
 )
-from repro.verify.engines import reference_engine, result_key
+from repro.verify.engines import core_engine, reference_engine, result_key
 from repro.verify.generator import sample_case
 from repro.verify.runner import format_report, write_report
 from repro.verify.shrink import shrink_case
@@ -23,14 +23,22 @@ def test_fixed_seed_sweep_is_clean():
     assert report["cases_run"] == 25
     assert report["failures"] == []
     names = report["engines"]
-    assert names[0] == "reference"
-    assert {"compiled-python", "resilient"} <= set(names)
+    assert names[0] == "core"
+    # post-unification the product is two-way: core vs the C inner loop
+    # (plus the engine-independent oracle); nothing else is registered
+    assert set(names) <= {"core", "core-c"}
+    from repro._ccore import native_available
+
+    if native_available():
+        assert "core-c" in names
 
 
 def test_engine_registry_order_is_deterministic():
     engines = available_engines()
     assert list(engines) == list(available_engines())
-    assert list(engines)[0] == "reference"
+    assert list(engines)[0] == "core"
+    # the historical baseline name stays importable as an alias
+    assert reference_engine is core_engine
 
 
 def test_result_key_is_bitwise():
@@ -41,19 +49,19 @@ def test_result_key_is_bitwise():
     graph = TaskGraph.from_eliminations(
         hqr_elimination_list(case.m, case.n, case.config()), case.m, case.n
     )
-    res = reference_engine(case, graph)
+    res = core_engine(case, graph)
     nudged = dataclasses.replace(res, makespan=res.makespan * (1.0 + 1e-15))
     assert result_key(res) != result_key(nudged)
 
 
 def _lossy_engine(case, graph):
     """A deliberately perturbed engine: reports one phantom message."""
-    res = reference_engine(case, graph)
+    res = core_engine(case, graph)
     return dataclasses.replace(res, messages=res.messages + 1)
 
 
 def test_perturbed_engine_is_caught_and_minimized():
-    engines = {"reference": reference_engine, "lossy": _lossy_engine}
+    engines = {"core": core_engine, "lossy": _lossy_engine}
     report = verify(seed=0, budget=5, engines=engines, max_failures=1)
     assert report["ok"] is False
     assert report["cases_run"] == 1  # max_failures stops the sweep
@@ -95,7 +103,7 @@ def test_shrink_flaky_predicate_flagged():
 
 
 def test_report_round_trip_and_replay(tmp_path):
-    engines = {"reference": reference_engine, "lossy": _lossy_engine}
+    engines = {"core": core_engine, "lossy": _lossy_engine}
     report = verify(seed=1, budget=2, engines=engines, max_failures=1)
     assert not report["ok"]
     path = tmp_path / "VERIFY_test.json"
