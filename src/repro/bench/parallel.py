@@ -12,9 +12,11 @@ pool failure that forces the serial fallback is *logged* (it used to be
 silent — a sweep could quietly lose all its parallelism), a point that
 raises in the serial path is logged with its index before the exception
 propagates, and points much slower than the sweep median are reported
-through the ``repro.bench.parallel`` logger.  Per-point seconds also
-feed the ``sweep_point`` stage of the self-profiler when one is active
-(:mod:`repro.obs.profile`).
+through the ``repro.bench.parallel`` logger.  Every line is a
+structured JSON record (:func:`repro.obs.logging.jsonlog`) with the
+human-readable phrase preserved in its ``msg`` field.  Per-point
+seconds also feed the ``sweep_point`` stage of the self-profiler when
+one is active (:mod:`repro.obs.profile`).
 
 Worker count: ``REPRO_BENCH_WORKERS`` overrides; the default is the CPU
 count.  Functions submitted must be module-level (picklable), taking one
@@ -27,6 +29,8 @@ import logging
 import os
 import time
 from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.obs.logging import jsonlog
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -47,9 +51,11 @@ def log_transport(transport: str, *, workers: int, points: int) -> None:
     ``pickle`` (legacy per-point process pool), ``serial`` (in-process
     loop), or ``incremental`` (serial with prefix reuse).
     """
-    log.info(
-        "sweep transport: %s (%d workers, %d points)",
-        transport, workers, points,
+    jsonlog(
+        "sweep_transport", logger=log,
+        msg=f"sweep transport: {transport} "
+            f"({workers} workers, {points} points)",
+        transport=transport, workers=workers, points=points,
     )
 
 
@@ -94,9 +100,11 @@ def _make_pool(workers: int):
         except (TypeError, ValueError) as exc:
             # TypeError: Python without max_tasks_per_child;
             # ValueError: platform without the forkserver start method
-            log.warning(
-                "worker recycling unavailable (%s: %s); using plain pool",
-                type(exc).__name__, exc,
+            jsonlog(
+                "recycle_unavailable", level="warning", logger=log,
+                msg=f"worker recycling unavailable "
+                    f"({type(exc).__name__}: {exc}); using plain pool",
+                error=type(exc).__name__,
             )
     return ProcessPoolExecutor(max_workers=workers)
 
@@ -130,9 +138,11 @@ def _serial_map(fn: Callable[[T], R], seq: Sequence[T]) -> tuple[list[R], list[f
         try:
             results.append(fn(item))
         except Exception as exc:
-            log.error(
-                "sweep point %d/%d dropped: %s: %s",
-                i + 1, len(seq), type(exc).__name__, exc,
+            jsonlog(
+                "sweep_point_dropped", level="error", logger=log,
+                msg=f"sweep point {i + 1}/{len(seq)} dropped: "
+                    f"{type(exc).__name__}: {exc}",
+                point=i + 1, points=len(seq), error=type(exc).__name__,
             )
             raise
         seconds.append(time.perf_counter() - t0)
@@ -146,18 +156,24 @@ def _report_timings(seconds: list[float]) -> None:
     total = sum(seconds)
     srt = sorted(seconds)
     median = srt[len(srt) // 2]
-    log.debug(
-        "sweep: %d points, %.3fs total, median %.4fs, max %.4fs",
-        len(seconds), total, median, srt[-1],
+    jsonlog(
+        "sweep_profile", level="debug", logger=log,
+        msg=f"sweep: {len(seconds)} points, {total:.3f}s total, "
+            f"median {median:.4f}s, max {srt[-1]:.4f}s",
+        points=len(seconds), total_s=round(total, 6),
+        median_s=round(median, 6), max_s=round(srt[-1], 6),
     )
     threshold = max(median * SLOW_POINT_FACTOR, 0.5)
     slow = [
         (i, s) for i, s in enumerate(seconds) if s > threshold
     ]
     for i, s in slow:
-        log.warning(
-            "slow sweep point %d: %.3fs (median %.4fs, %.0fx)",
-            i, s, median, s / median if median > 0 else float("inf"),
+        ratio = s / median if median > 0 else float("inf")
+        jsonlog(
+            "slow_sweep_point", level="warning", logger=log,
+            msg=f"slow sweep point {i}: {s:.3f}s "
+                f"(median {median:.4f}s, {ratio:.0f}x)",
+            point=i, seconds=round(s, 6), median_s=round(median, 6),
         )
     from repro.obs.profile import active_profile
 
@@ -208,9 +224,11 @@ def parallel_map(
         # pool cannot start (no /dev/shm etc.) or a worker died mid-map
         # (BrokenProcessPool): rerun the whole map serially in-process —
         # loudly, so a sweep never silently loses its parallelism
-        log.warning(
-            "process pool failed (%s: %s); rerunning all %d points serially",
-            type(exc).__name__, exc, len(seq),
+        jsonlog(
+            "pool_failed", level="warning", logger=log,
+            msg=f"process pool failed ({type(exc).__name__}: {exc}); "
+                f"rerunning all {len(seq)} points serially",
+            error=type(exc).__name__, points=len(seq),
         )
         results, seconds = _serial_map(fn, seq)
         _report_timings(seconds)

@@ -134,6 +134,7 @@ def compiled_graph_for(
     """
     from repro.dag.cache import default_cache, fingerprint
     from repro.dag.compiled import compiled_from_eliminations
+    from repro.obs.tracing import span
 
     def build():
         with stage("elim"):
@@ -141,7 +142,7 @@ def compiled_graph_for(
         with stage("dag_build"):
             return compiled_from_eliminations(elims, m, n, layout, machine, b)
 
-    with stage("graph"):
+    with stage("graph"), span("graph", m=m, n=n):
         try:
             key = fingerprint(m, n, config, layout, machine, b)
         except TypeError:

@@ -402,13 +402,15 @@ def cmd_serve(args) -> int:
         port=args.port,
         workers=args.workers,
         max_inflight_cost=args.max_inflight_cost,
+        access_log=not args.no_access_log,
     )
     daemon.start()
     daemon.install_signal_handlers()
     names = ", ".join(t.name for t in tenants)
     print(f"repro serve on http://{args.host}:{daemon.port}  "
           f"(tenants: {names}; {args.workers} workers)")
-    print("endpoints: POST /plan   GET /healthz /metrics /stats")
+    print("endpoints: POST /plan   GET /healthz /metrics /stats "
+          "/trace/<job_id> /debug/flight")
     try:
         daemon.serve_until(args.duration)
     finally:
@@ -577,6 +579,48 @@ def cmd_obs_gate(args) -> int:
             json.dump(result, fh, indent=2, sort_keys=True)
             fh.write("\n")
     return 0 if result["ok"] else 1
+
+
+def cmd_obs_trace(args) -> int:
+    import json
+
+    from repro.obs.tracing import (
+        chrome_span_events,
+        format_trace,
+        format_trace_diff,
+        load_traces,
+    )
+
+    traces = load_traces(args.file)
+    if args.job is not None:
+        traces = [t for t in traces if t.get("job_id") == args.job]
+        if not traces:
+            print(
+                f"no trace with job id {args.job} in {args.file}",
+                file=sys.stderr,
+            )
+            return 1
+    if args.diff:
+        print(format_trace_diff(traces, load_traces(args.diff)))
+        return 0
+    if args.chrome:
+        doc = {
+            "traceEvents": chrome_span_events(traces),
+            "displayTimeUnit": "ms",
+        }
+        with open(args.chrome, "w") as fh:
+            json.dump(doc, fh, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.chrome} ({len(traces)} trace(s))")
+        return 0
+    if args.json:
+        print(json.dumps(traces, indent=2, sort_keys=True))
+        return 0
+    for i, tr in enumerate(traces):
+        if i:
+            print()
+        print(format_trace(tr))
+    return 0
 
 
 def _add_obs_run_args(p: argparse.ArgumentParser) -> None:
@@ -995,6 +1039,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", help="write the gate verdict here")
     p.set_defaults(fn=cmd_obs_gate)
 
+    p = obs_sub.add_parser(
+        "trace",
+        help="pretty-print / diff request traces dumped by the daemon",
+    )
+    p.add_argument(
+        "file",
+        help="trace dump: /trace/<id> body, /debug/flight snapshot, "
+        "JSON list, or JSONL",
+    )
+    p.add_argument(
+        "--diff", metavar="OTHER",
+        help="second dump: show per-stage latency deltas against FILE",
+    )
+    p.add_argument(
+        "--job", type=int, help="only the trace with this job id"
+    )
+    p.add_argument(
+        "--chrome", metavar="OUT",
+        help="write the spans as Chrome trace_event JSON instead",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="print the selected traces as a JSON list",
+    )
+    p.set_defaults(fn=cmd_obs_trace)
+
     p = sub.add_parser(
         "serve",
         help="persistent planning daemon / SLO-gated serving benchmark",
@@ -1020,6 +1090,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--duration",
         type=float,
         help="serve for this many seconds then drain (default: forever)",
+    )
+    p.add_argument(
+        "--no-access-log",
+        action="store_true",
+        help="daemon: suppress the structured JSON access log",
     )
     p.add_argument(
         "--bench",

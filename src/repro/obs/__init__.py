@@ -5,7 +5,14 @@
   fast path;
 * :mod:`repro.obs.metrics` — counters / gauges / histograms plus
   per-kernel, per-hierarchy-level, per-link derivations, exported as
-  JSON or Prometheus text (``repro metrics``);
+  JSON or Prometheus text (``repro metrics``), and a strict exposition
+  parser for scrape tests;
+* :mod:`repro.obs.tracing` — request-scoped span trees with
+  trace-context propagation across the serving stack, a bounded
+  flight recorder, and trace export/pretty-printing
+  (``repro obs trace``);
+* :mod:`repro.obs.logging` — one-line structured JSON logging shared
+  by the daemon access log and the bench sweep logger;
 * :mod:`repro.obs.profile` — self-profiling of the harness (stage
   timers + cProfile, ``repro profile``);
 * :mod:`repro.obs.report` — standalone HTML run summary
@@ -18,9 +25,11 @@ See ``docs/observability.md`` for the workflow.
 """
 
 from repro.obs.events import Recorder, active, install, recording, uninstall
+from repro.obs.logging import jsonlog
 from repro.obs.metrics import (
     MetricsRegistry,
     derive_run_metrics,
+    parse_prometheus_text,
     utilization_timeline,
 )
 from repro.obs.profile import SelfProfile, format_profile, profile_run, stage
@@ -31,22 +40,40 @@ from repro.obs.regression import (
     run_metadata,
 )
 from repro.obs.report import build_html, write_html
+from repro.obs.tracing import (
+    FlightRecorder,
+    RequestTrace,
+    Span,
+    Tracer,
+    attach,
+    current_trace,
+    span,
+)
 
 __all__ = [
+    "FlightRecorder",
     "MetricsRegistry",
     "Recorder",
+    "RequestTrace",
     "SelfProfile",
+    "Span",
+    "Tracer",
     "active",
+    "attach",
     "build_html",
     "compare_reports",
+    "current_trace",
     "derive_run_metrics",
     "format_gate",
     "format_profile",
     "gate_files",
     "install",
+    "jsonlog",
+    "parse_prometheus_text",
     "profile_run",
     "recording",
     "run_metadata",
+    "span",
     "stage",
     "uninstall",
     "utilization_timeline",

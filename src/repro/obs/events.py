@@ -66,7 +66,7 @@ class Recorder:
         "cache",
         "runs",
         "notes",
-        "dropped",
+        "dropped_events",
     )
 
     def __init__(self, level: str = "tasks", max_events: int = 2_000_000):
@@ -81,14 +81,18 @@ class Recorder:
         self.cache: list[tuple[str, str]] = []
         self.runs: list[dict] = []
         self.notes: list[dict] = []
-        self.dropped = 0
+        #: events dropped on overflow, by family — buffer pressure is
+        #: attributable (exported as ...dropped_events_total{family=...})
+        self.dropped_events: dict[str, int] = {
+            "tasks": 0, "comms": 0, "queue": 0, "faults": 0, "cache": 0,
+        }
 
     # -- emission (engines call these behind a ``rec is not None`` guard) --
     def task(self, task_id: int, node: int, start: float, end: float) -> None:
         if len(self.tasks) < self.max_events:
             self.tasks.append((task_id, node, start, end))
         else:
-            self.dropped += 1
+            self.dropped_events["tasks"] += 1
 
     def comm(
         self,
@@ -102,26 +106,26 @@ class Recorder:
         if len(self.comms) < self.max_events:
             self.comms.append((producer, src, dst, depart, arrival, nbytes))
         else:
-            self.dropped += 1
+            self.dropped_events["comms"] += 1
 
     def queue_depth(self, time: float, node: int, depth: int) -> None:
         if len(self.queue) < self.max_events:
             self.queue.append((time, node, depth))
         else:
-            self.dropped += 1
+            self.dropped_events["queue"] += 1
 
     def fault(self, event: dict) -> None:
         if len(self.faults) < self.max_events:
             self.faults.append(event)
         else:
-            self.dropped += 1
+            self.dropped_events["faults"] += 1
 
     def cache_event(self, event: str, key: str) -> None:
         """``event`` ∈ hit-memory / hit-disk / miss / store."""
         if len(self.cache) < self.max_events:
             self.cache.append((event, key))
         else:
-            self.dropped += 1
+            self.dropped_events["cache"] += 1
 
     def run(self, **info) -> None:
         """One engine invocation: engine name, wall seconds, results."""
@@ -132,6 +136,11 @@ class Recorder:
         self.notes.append(info)
 
     # -- convenience -------------------------------------------------- #
+    @property
+    def dropped(self) -> int:
+        """Total dropped events across every family."""
+        return sum(self.dropped_events.values())
+
     @property
     def want_tasks(self) -> bool:
         """True when per-task/per-message detail is requested."""

@@ -1,0 +1,77 @@
+"""Structured JSON logging shared by the serving stack and the sweep engine.
+
+One helper, two sinks:
+
+* ``jsonlog(event, logger=...)`` emits the JSON line through a standard
+  :mod:`logging` logger — library code (``repro.bench.parallel``) uses
+  this so the usual level filtering, ``caplog`` capture and handler
+  configuration keep working.  The human-readable summary goes into the
+  ``msg`` field so log greps (and existing tests) still match.
+* ``jsonlog(event)`` with no logger writes the line straight to stderr
+  with a wall-clock ``ts`` — the daemon access log uses this so request
+  lines appear regardless of the process's logging configuration.
+
+Every line is a single JSON object with at least ``level`` and
+``event``; extra keyword arguments become fields verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import threading
+import time
+
+__all__ = ["jsonlog", "set_stream"]
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+_lock = threading.Lock()
+_stream = None  # None -> sys.stderr resolved at call time (test-friendly)
+
+
+def set_stream(stream) -> None:
+    """Redirect direct-sink lines (no ``logger=``) to ``stream``.
+
+    Pass ``None`` to restore the default (``sys.stderr`` at call time).
+    """
+    global _stream
+    _stream = stream
+
+
+def jsonlog(
+    event: str,
+    *,
+    level: str = "info",
+    logger: logging.Logger | None = None,
+    **fields,
+) -> str | None:
+    """Emit one structured JSON log line; returns the line (or ``None``).
+
+    ``level="debug"`` lines on the direct sink are suppressed unless
+    ``REPRO_LOG_DEBUG`` is set, so hot paths can leave verbose
+    instrumentation in place for free.
+    """
+    if level not in _LEVELS:
+        raise ValueError(f"unknown log level {level!r}")
+    payload: dict = {"level": level, "event": event}
+    payload.update(fields)
+    if logger is not None:
+        line = json.dumps(payload, sort_keys=True, default=str)
+        logger.log(_LEVELS[level], "%s", line)
+        return line
+    if level == "debug" and not os.environ.get("REPRO_LOG_DEBUG"):
+        return None
+    payload["ts"] = round(time.time(), 6)
+    line = json.dumps(payload, sort_keys=True, default=str)
+    out = _stream if _stream is not None else sys.stderr
+    with _lock:
+        print(line, file=out, flush=True)
+    return line

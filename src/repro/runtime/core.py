@@ -62,6 +62,7 @@ from repro import _ccore
 from repro.dag.compiled import CompiledGraph
 from repro.obs.events import active as _obs_active
 from repro.obs.profile import stage
+from repro.obs.tracing import active_core_hook as _span_hook
 from repro.runtime.machine import Machine
 from repro.runtime.simulator import SimulationResult, qr_flops
 
@@ -838,6 +839,10 @@ def run_core(
     tile_bytes = machine.tile_bytes(b)
     rec = _obs_active()
     wall0 = time.perf_counter() if rec is not None else 0.0
+    # request-tracing span hook: the off-path is this single None check
+    # (bitwise-neutral — pinned by the golden core-equivalence fixtures)
+    hook = _span_hook()
+    span0 = time.monotonic() if hook is not None else 0.0
     if ntasks == 0:
         return CoreOutcome(
             result=SimulationResult(
@@ -887,6 +892,11 @@ def run_core(
                     messages=messages,
                     ntasks=ntasks,
                 )
+            if hook is not None:
+                hook(
+                    "simulate", span0, time.monotonic(),
+                    {"engine": "c", "ntasks": ntasks},
+                )
             return CoreOutcome(
                 result=SimulationResult(
                     makespan=makespan,
@@ -930,6 +940,11 @@ def run_core(
             busy_seconds=busy,
             messages=messages,
             ntasks=ntasks,
+        )
+    if hook is not None:
+        hook(
+            "simulate", span0, time.monotonic(),
+            {"engine": engine, "ntasks": ntasks},
         )
     return CoreOutcome(
         result=SimulationResult(
@@ -1051,6 +1066,8 @@ def run_core_batch(
         )
     rec = _obs_active()
     wall0 = time.perf_counter() if rec is not None else 0.0
+    hook = _span_hook()
+    span0 = time.monotonic() if hook is not None else 0.0
     tile_bytes = machine.tile_bytes(b)
 
     lib = _pick_engine(core)
@@ -1100,6 +1117,14 @@ def run_core_batch(
                     ntasks=int(batch["task_off"][-1]),
                     threads=sim_threads(),
                     openmp=_ccore.openmp_available(),
+                )
+            if hook is not None:
+                # one span for the whole fused dispatch; the per-point
+                # fallback below goes through run_core, which emits its
+                # own per-graph spans
+                hook(
+                    "simulate", span0, time.monotonic(),
+                    {"engine": "c-batch", "points": len(live)},
                 )
     if batch is None and live:
         # bit-identical fallback: the scalar path per point (pure-Python

@@ -14,10 +14,19 @@ name:
 3. **chaos** — a :class:`~repro.serve.stream.ChaosWindow` applies a
    ``repro.resilience`` crash scenario to jobs dispatched mid-stream;
    the daemon-side planner answers through the recovery path
-   (degraded, replanned) and the stream completes.
+   (degraded, replanned) and the stream completes.  Degraded jobs must
+   auto-trigger the tracing flight recorder at least once.
 4. **live** — a real daemon is booted on an ephemeral port, driven over
    HTTP by the bundled client, and its ``/metrics`` endpoint scraped;
-   records real wall time and proves the HTTP path end to end.
+   records real wall time and proves the HTTP path end to end,
+   including ``GET /trace/<job_id>`` and a triggered ``/debug/flight``
+   dump.
+
+Every stream phase runs with request tracing on: the steady phase is
+replayed and must stay bit-identical *with tracing enabled*, and the
+per-request span trees must attribute latency to stages (admission +
+queue + cache + plan + simulate) summing within 5% of the end-to-end
+latency.
 
 ``serve_wall_s`` (total real wall time of the benchmark) is gated by
 ``repro obs gate`` against the committed baseline in CI.
@@ -30,6 +39,7 @@ import time
 
 from repro import __version__
 from repro.obs.regression import run_metadata
+from repro.obs.tracing import ATTRIBUTION_STAGES, FlightRecorder, Tracer
 from repro.serve.arrivals import poisson_arrivals
 from repro.serve.scheduler import TenantSpec
 from repro.serve.service import PlannerService, PlanRequest
@@ -108,6 +118,27 @@ def _rates(
     return {t: share / mu for t, mu in mean_cost.items()}
 
 
+def _attribution_check(tracer: Tracer, *, tol: float = 0.05) -> dict:
+    """Per-request latency attribution over a tracer's stored traces.
+
+    The span stages (admission + queue + cache + plan + simulate) must
+    sum within ``tol`` of each trace's end-to-end latency — the
+    acceptance criterion of the tracing subsystem."""
+    traces = tracer.traces()
+    max_err = 0.0
+    for tr in traces:
+        att = tr.attribution()
+        total = att["total"]
+        staged = sum(att[s] for s in ATTRIBUTION_STAGES)
+        if total > 0:
+            max_err = max(max_err, abs(staged - total) / total)
+    return {
+        "requests_traced": len(traces),
+        "max_attribution_err": max_err,
+        "attribution_ok": bool(traces) and max_err <= tol,
+    }
+
+
 def serve_bench(
     *,
     seed: int = 0,
@@ -126,16 +157,24 @@ def serve_bench(
     arrivals = poisson_arrivals(
         rates, d_stream, seed=seed, request_factory=_request_factory
     )
+    tracer = Tracer()
     stream = run_stream(
-        service, BENCH_TENANTS, arrivals, capacity=capacity
+        service, BENCH_TENANTS, arrivals, capacity=capacity, tracer=tracer
     )
     summary = stream.summary()
+    retracer = Tracer()
     rerun = run_stream(
-        service, BENCH_TENANTS, arrivals, capacity=capacity
+        service, BENCH_TENANTS, arrivals, capacity=capacity, tracer=retracer
     )
+    spans = [t.to_json() for t in tracer.traces()]
     deterministic = (
-        rerun.summary() == summary and rerun.trace == stream.trace
+        rerun.summary() == summary
+        and rerun.trace == stream.trace
+        # span trees are built from virtual time only, so they must
+        # replay bit-identically too — tracing cannot perturb the run
+        and [t.to_json() for t in retracer.traces()] == spans
     )
+    tracing = _attribution_check(tracer)
 
     # -- 2: 2x-capacity overload (shed, don't wedge) -------------------- #
     over_rates = _rates(mean_cost, capacity=capacity, util=2.0)
@@ -158,14 +197,19 @@ def serve_bench(
     window = ChaosWindow(
         "crash", seed=seed, start=chaos_arrivals[len(chaos_arrivals) // 4].time
     )
+    # cooldown=0 so every degraded job dumps: the phase must prove the
+    # flight recorder fires automatically under faults
+    chaos_tracer = Tracer(flight=FlightRecorder(cooldown=0.0))
     chaos = run_stream(
         service, BENCH_TENANTS, chaos_arrivals,
-        capacity=capacity, chaos=window,
+        capacity=capacity, chaos=window, tracer=chaos_tracer,
     )
+    flight_dumps = len(chaos_tracer.flight.dumps())
     chaos_ok = (
         chaos.total == len(chaos_arrivals)
         and chaos.served > 0
         and chaos.degraded > 0
+        and flight_dumps > 0
     )
 
     # -- 4: live daemon + client + /metrics scrape ----------------------- #
@@ -173,9 +217,14 @@ def serve_bench(
     live_ok = True
     if not skip_live:
         live = _live_smoke(arrivals[:25])
-        live_ok = bool(live.get("ok_requests", 0)) and live.get(
-            "metrics_scraped", False
-        ) and live.get("drained", False)
+        live_ok = (
+            bool(live.get("ok_requests", 0))
+            and live.get("metrics_scraped", False)
+            and live.get("drained", False)
+            and live.get("trace_fetched", False)
+            and live.get("breakdown_ok", False)
+            and live.get("flight_dumped", False)
+        )
 
     wall = time.perf_counter() - wall0
     report = {
@@ -210,8 +259,10 @@ def serve_bench(
             "served": chaos.served,
             "shed": chaos.shed,
             "degraded_jobs": chaos.degraded,
+            "flight_dumps": flight_dumps,
             "ok": chaos_ok,
         },
+        "tracing": tracing,
         "live": live,
         # headline SLO fields (from the steady-state stream)
         "latency_p50_s": summary["latency_p50_s"],
@@ -221,23 +272,46 @@ def serve_bench(
         "shed_rate": summary["shed_rate"],
         "cache_hit_ratio": stream.slo.cache_hit_ratio(),
         "serve_wall_s": wall,
-        "ok": deterministic and overload_ok and chaos_ok and live_ok,
+        "ok": (
+            deterministic
+            and overload_ok
+            and chaos_ok
+            and live_ok
+            and tracing["attribution_ok"]
+        ),
     }
     return report
 
 
 def _live_smoke(arrivals) -> dict:
-    """Boot a real daemon, drive it over HTTP, scrape /metrics, drain."""
+    """Boot a real daemon, drive it over HTTP, scrape /metrics, fetch a
+    span tree via ``GET /trace/<job_id>``, trigger a flight dump, drain."""
     from repro.serve.client import ServeClient, drive
     from repro.serve.server import PlanningDaemon
 
     t0 = time.perf_counter()
     daemon = PlanningDaemon(tenants=BENCH_TENANTS, port=0, workers=2)
     daemon.start()
+    trace_fetched = breakdown_ok = flight_dumped = False
     try:
         client = ServeClient(port=daemon.port)
         client.wait_ready()
         tally = drive(client, list(arrivals), honor_retry_after=True)
+        resp = client.plan("interactive", dict(_CATALOG["interactive"][0]))
+        if resp.ok and resp.job_id is not None:
+            tree = client.trace(resp.job_id)
+            trace_fetched = (
+                tree.get("trace_id") == resp.trace_id
+                and tree.get("root", {}).get("name") == "request"
+            )
+            bd = resp.breakdown or {}
+            staged = sum(bd.get(s, 0.0) for s in ATTRIBUTION_STAGES)
+            total = bd.get("total", 0.0)
+            breakdown_ok = (
+                total > 0 and abs(staged - total) / total <= 0.05
+            )
+        flight = client.flight(trigger=True)
+        flight_dumped = bool(flight.get("dumps"))
         metrics_text = client.metrics()
         stats = client.stats()
     finally:
@@ -249,6 +323,9 @@ def _live_smoke(arrivals) -> dict:
         "error_requests": tally["errors"],
         "metrics_scraped": "repro_serve_requests_total" in metrics_text,
         "daemon_served": stats["slo"]["served"],
+        "trace_fetched": trace_fetched,
+        "breakdown_ok": breakdown_ok,
+        "flight_dumped": flight_dumped,
         "drained": drain["drained"],
         "disposed_segments": drain["disposed_segments"],
         "wall_s": time.perf_counter() - t0,
@@ -285,9 +362,17 @@ def format_serve_report(report: dict) -> str:
     c = report["chaos"]
     lines.append(
         f"  chaos ({c['scenario']}): {c['served']} served, "
-        f"{c['degraded_jobs']} degraded, {c['shed']} shed  "
+        f"{c['degraded_jobs']} degraded, {c['shed']} shed, "
+        f"{c.get('flight_dumps', 0)} flight dumps  "
         f"{'ok' if c['ok'] else 'FAILED'}"
     )
+    tr = report.get("tracing")
+    if tr:
+        lines.append(
+            f"  tracing: {tr['requests_traced']} span trees, max "
+            f"attribution err {tr['max_attribution_err']:.2%}  "
+            f"{'ok' if tr['attribution_ok'] else 'FAILED'}"
+        )
     live = report["live"]
     if live.get("skipped"):
         lines.append("  live daemon: skipped")
@@ -295,6 +380,8 @@ def format_serve_report(report: dict) -> str:
         lines.append(
             f"  live daemon: {live['ok_requests']}/{live['requests']} ok "
             f"over HTTP, metrics_scraped={live['metrics_scraped']}, "
+            f"trace_fetched={live.get('trace_fetched')}, "
+            f"flight_dumped={live.get('flight_dumped')}, "
             f"drained={live['drained']} ({live['wall_s']:.2f}s)"
         )
     ratio = report.get("cache_hit_ratio")

@@ -5,6 +5,10 @@ so it is trivially thread-safe and survives daemon restarts);
 :func:`drive` replays an arrival trace against a live daemon and
 tallies the outcomes — the CI ``serve-smoke`` job and the live section
 of ``repro serve --bench`` are built on it.
+
+Every ``POST /plan`` mints a fresh trace context and sends it as a
+``traceparent`` header; the daemon joins it, so the span tree answering
+``GET /trace/<job_id>`` carries the client's trace id end to end.
 """
 
 from __future__ import annotations
@@ -14,6 +18,7 @@ import json
 import time
 from dataclasses import dataclass
 
+from repro.obs.tracing import format_traceparent, mint_span_id, mint_trace_id
 from repro.serve.arrivals import Arrival
 
 __all__ = ["PlanResponse", "ServeClient", "drive"]
@@ -35,6 +40,22 @@ class PlanResponse:
     def shed(self) -> bool:
         return self.status in (429, 503)
 
+    @property
+    def trace_id(self) -> str | None:
+        """The request's trace id (also on shed/error responses)."""
+        return self.body.get("trace_id")
+
+    @property
+    def job_id(self) -> int | None:
+        """Server-side job id — the key for ``GET /trace/<job_id>``."""
+        return self.body.get("job_id")
+
+    @property
+    def breakdown(self) -> dict | None:
+        """Per-stage latency attribution (admission/queue/cache/plan/
+        simulate/total), present on 200 responses."""
+        return self.body.get("breakdown")
+
 
 class ServeClient:
     """Minimal client for the ``repro serve`` HTTP API."""
@@ -49,14 +70,15 @@ class ServeClient:
 
     # ------------------------------------------------------------------ #
     def _request(
-        self, method: str, path: str, payload: dict | None = None
+        self, method: str, path: str, payload: dict | None = None,
+        headers: dict[str, str] | None = None,
     ) -> tuple[int, dict[str, str], bytes]:
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
         try:
             body = None
-            headers = {}
+            headers = dict(headers or {})
             if payload is not None:
                 body = json.dumps(payload).encode()
                 headers["Content-Type"] = "application/json"
@@ -72,7 +94,10 @@ class ServeClient:
         """Submit one planning request for ``tenant``."""
         payload = dict(request)
         payload["tenant"] = tenant
-        status, headers, data = self._request("POST", "/plan", payload)
+        traceparent = format_traceparent(mint_trace_id(), mint_span_id())
+        status, headers, data = self._request(
+            "POST", "/plan", payload, headers={"traceparent": traceparent}
+        )
         try:
             body = json.loads(data) if data else {}
         except json.JSONDecodeError:
@@ -102,6 +127,22 @@ class ServeClient:
         if status != 200:
             raise RuntimeError(f"metrics returned {status}")
         return data.decode()
+
+    def trace(self, job_id: int) -> dict:
+        """Fetch the span tree of a recent request by job id."""
+        status, _, data = self._request("GET", f"/trace/{job_id}")
+        if status != 200:
+            raise RuntimeError(f"trace/{job_id} returned {status}: {data!r}")
+        return json.loads(data)
+
+    def flight(self, *, trigger: bool = False) -> dict:
+        """Fetch the flight-recorder snapshot (``trigger=True`` dumps
+        the ring first — the CI smoke uses it to capture a dump)."""
+        path = "/debug/flight" + ("?trigger=1" if trigger else "")
+        status, _, data = self._request("GET", path)
+        if status != 200:
+            raise RuntimeError(f"debug/flight returned {status}")
+        return json.loads(data)
 
     def wait_ready(self, *, attempts: int = 50, delay: float = 0.1) -> dict:
         """Poll ``/healthz`` until the daemon answers (fresh boots)."""

@@ -10,10 +10,20 @@ a fixed pool of worker threads dequeues weighted-fairly and plans.
 
 Endpoints
 ---------
-``POST /plan``     JSON planning request (see ``docs/serving.md``)
-``GET  /metrics``  Prometheus text exposition (SLOs, queues, cache)
-``GET  /stats``    JSON SLO summary + scheduler snapshot
-``GET  /healthz``  liveness + version
+``POST /plan``           JSON planning request (see ``docs/serving.md``)
+``GET  /metrics``        Prometheus text exposition (SLOs, queues, cache)
+``GET  /stats``          JSON SLO summary + scheduler snapshot
+``GET  /healthz``        liveness + version
+``GET  /trace/<job_id>`` span tree of a recent request (`repro.obs.tracing`)
+``GET  /debug/flight``   flight-recorder snapshot (``?trigger=1`` dumps now)
+
+Every request is traced: ``POST /plan`` accepts a W3C
+``traceparent``-style header (minting a fresh context when absent or
+malformed), propagates it back in the response, and returns the
+per-stage latency breakdown (admission / queue / cache / plan /
+simulate) in the response body.  The flight recorder keeps the last N
+traces in a ring and dumps automatically on SLO breach, shed, fault
+degradation, or a worker exception.
 
 Graceful shutdown (SIGINT/SIGTERM or :meth:`PlanningDaemon.shutdown`):
 stop admitting (503), drain queued and in-flight jobs, flush the obs
@@ -27,10 +37,24 @@ import json
 import signal
 import threading
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
 from repro import __version__
+from repro.obs.logging import jsonlog
+from repro.obs.tracing import (
+    FlightRecorder,
+    RequestTrace,
+    Tracer,
+    attach,
+    format_traceparent,
+    install_core_hook,
+    parse_traceparent,
+    span,
+    uninstall_core_hook,
+)
 from repro.serve.scheduler import FairScheduler, Job, TenantSpec
 from repro.serve.service import PlannerService, PlanRequest
 from repro.serve.slo import SLOTracker
@@ -56,6 +80,7 @@ class _Pending:
     event: threading.Event = field(default_factory=threading.Event)
     result: object = None
     error: Exception | None = None
+    trace: RequestTrace | None = None
 
 
 class PlanningDaemon:
@@ -72,9 +97,14 @@ class PlanningDaemon:
         max_inflight_cost: float | None = None,
         request_timeout: float = 60.0,
         default_cost: float = 1.0,
+        slo_breach_s: float | None = 30.0,
+        trace_capacity: int = 256,
+        flight_capacity: int = 64,
+        flight_cooldown: float = 1.0,
+        access_log: bool = False,
     ):
         self.service = service or PlannerService()
-        self.slo = SLOTracker()
+        self.slo = SLOTracker(breach_s=slo_breach_s)
         self.scheduler = FairScheduler(
             tenants, capacity=workers, max_inflight_cost=max_inflight_cost
         )
@@ -83,6 +113,13 @@ class PlanningDaemon:
         self.workers = workers
         self.request_timeout = request_timeout
         self.default_cost = default_cost
+        self.slo_breach_s = slo_breach_s
+        self.access_log = access_log
+        self.tracer = Tracer(
+            store_capacity=trace_capacity,
+            flight=FlightRecorder(flight_capacity, cooldown=flight_cooldown),
+        )
+        self._hook_installed = False
         self._cond = threading.Condition()
         self._draining = False
         self._stopping = False
@@ -108,6 +145,8 @@ class PlanningDaemon:
         )
         self._httpd.daemon_threads = True
         self._started_at = time.monotonic()
+        install_core_hook()  # "simulate" spans from run_core dispatches
+        self._hook_installed = True
         t = threading.Thread(
             target=self._httpd.serve_forever,
             name="repro-serve-http",
@@ -168,6 +207,9 @@ class PlanningDaemon:
             self._httpd.server_close()
         for t in self._threads:
             t.join(timeout=5.0)
+        if self._hook_installed:
+            uninstall_core_hook()
+            self._hook_installed = False
         # flush observability + shared memory before the process exits
         from repro.bench.shm import dispose_owned
         from repro.obs.events import active as _obs_active
@@ -195,18 +237,30 @@ class PlanningDaemon:
             if job is None:
                 continue
             pending: _Pending = job.request
+            trace = pending.trace
             cache_hit = None
             degraded = False
+            if trace is not None:
+                trace.span("queue", job.arrival, job.start)
             try:
-                pending.result = self.service.plan(pending.req)
-                cache_hit = pending.result.cache_hit
-                degraded = pending.result.degradation > 1.0
+                with attach(trace) if trace is not None else nullcontext():
+                    with span(
+                        "service", tenant=job.tenant, cost=job.cost
+                    ) as sp:
+                        pending.result = self.service.plan(pending.req)
+                        cache_hit = pending.result.cache_hit
+                        degraded = pending.result.degradation > 1.0
+                        if sp is not None:
+                            sp.attrs.update(
+                                cache_hit=cache_hit, degraded=degraded
+                            )
             except Exception as exc:  # surface to the handler, keep serving
                 pending.error = exc
             with self._cond:
                 self.scheduler.finish(job)
                 self._cond.notify_all()
-            latency = time.monotonic() - job.arrival
+            done = time.monotonic()
+            latency = done - job.arrival
             self.slo.record(
                 job.tenant,
                 latency=latency,
@@ -214,15 +268,58 @@ class PlanningDaemon:
                 cache_hit=cache_hit,
                 degraded=degraded,
             )
+            if trace is not None:
+                self.tracer.finish(
+                    trace, done,
+                    status="error" if pending.error is not None else "served",
+                )
+                flight = self.tracer.flight
+                if pending.error is not None:
+                    flight.trigger(
+                        "worker-exception", detail=str(pending.error)
+                    )
+                elif degraded:
+                    flight.trigger("fault", detail=f"job {job.job_id}")
+                elif (
+                    self.slo_breach_s is not None
+                    and latency > self.slo_breach_s
+                ):
+                    flight.trigger(
+                        "slo-breach",
+                        detail=f"job {job.job_id} latency {latency:.3f}s",
+                    )
             pending.event.set()
 
-    def submit(self, tenant: str, payload: dict) -> tuple[int, dict, dict]:
-        """Admission + synchronous wait; returns (status, body, headers)."""
+    def submit(
+        self,
+        tenant: str,
+        payload: dict,
+        *,
+        traceparent: str | None = None,
+        recv: float | None = None,
+    ) -> tuple[int, dict, dict]:
+        """Admission + synchronous wait; returns (status, body, headers).
+
+        ``traceparent`` (optional W3C-style header value) joins the
+        request to the caller's trace context; ``recv`` is the monotonic
+        receive time (defaults to now) so HTTP parse time is attributed.
+        """
+        if recv is None:
+            recv = time.monotonic()
         try:
             req = PlanRequest.from_json(payload)
         except ValueError as exc:
             return 400, {"error": str(exc)}, {}
-        pending = _Pending(req=req)
+        ctx = parse_traceparent(traceparent)
+        trace = self.tracer.start(
+            tenant, recv,
+            trace_id=ctx[0] if ctx else None,
+            parent_span_id=ctx[1] if ctx else None,
+        )
+        trace_headers = {
+            "Traceparent": format_traceparent(trace.trace_id, trace.span_id),
+        }
+        pending = _Pending(req=req, trace=trace)
         now = time.monotonic()
         with self._cond:
             if self._draining:
@@ -239,27 +336,55 @@ class PlanningDaemon:
                 cost=req.cost if req.cost is not None else self.default_cost,
                 arrival=now,
             )
+            trace.job_id = job.job_id
             try:
                 adm = self.scheduler.offer(job, now)
             except KeyError:
                 return 400, {"error": f"unknown tenant {tenant!r}"}, {}
+            trace.span("admission", recv, now, admitted=adm.admitted)
             if not adm.admitted:
                 self.slo.record(tenant, latency=0.0, outcome="shed")
+                self.tracer.finish(trace, time.monotonic(), status="shed")
+                self.tracer.flight.trigger(
+                    "shed", detail=f"{tenant}: {adm.reason}"
+                )
                 return (
                     429,
                     {
                         "error": "shed",
                         "reason": adm.reason,
                         "retry_after": adm.retry_after,
+                        "job_id": job.job_id,
+                        "trace_id": trace.trace_id,
                     },
-                    {"Retry-After": f"{adm.retry_after:.3f}"},
+                    {"Retry-After": f"{adm.retry_after:.3f}", **trace_headers},
                 )
             self._cond.notify()
         if not pending.event.wait(timeout=self.request_timeout):
-            return 504, {"error": "timed out waiting for a worker"}, {}
+            return (
+                504,
+                {
+                    "error": "timed out waiting for a worker",
+                    "job_id": job.job_id,
+                    "trace_id": trace.trace_id,
+                },
+                trace_headers,
+            )
         if pending.error is not None:
-            return 500, {"error": str(pending.error)}, {}
-        return 200, pending.result.to_json(), {}
+            return (
+                500,
+                {
+                    "error": str(pending.error),
+                    "job_id": job.job_id,
+                    "trace_id": trace.trace_id,
+                },
+                trace_headers,
+            )
+        body = pending.result.to_json()
+        body["job_id"] = job.job_id
+        body["trace_id"] = trace.trace_id
+        body["breakdown"] = trace.attribution()
+        return 200, body, trace_headers
 
     # -- introspection ------------------------------------------------- #
     def uptime(self) -> float:
@@ -295,6 +420,20 @@ class PlanningDaemon:
                 "repro_serve_plan_failures_total", "planner exceptions"
             ).inc(svc["failures"])
         cache_metrics_into(reg, default_cache().stats())
+        fl = self.tracer.flight.snapshot()
+        if fl["triggers"]:
+            trig = reg.counter(
+                "repro_serve_flight_triggers_total",
+                "flight-recorder trigger events by reason",
+            )
+            for reason, n in fl["triggers"].items():
+                trig.inc(n, reason=reason)
+        reg.gauge(
+            "repro_serve_flight_dumps", "retained flight-recorder dumps"
+        ).set(len(fl["dumps"]))
+        reg.gauge(
+            "repro_serve_traces_stored", "request traces retrievable by job id"
+        ).set(len(self.tracer.traces()))
         reg.gauge("repro_serve_uptime_seconds", "daemon uptime").set(
             self.uptime()
         )
@@ -306,12 +445,18 @@ class PlanningDaemon:
     def stats(self) -> dict:
         with self._cond:
             snap = self.scheduler.snapshot()
+        fl = self.tracer.flight.snapshot()
         out = {
             "version": __version__,
             "uptime_s": self.uptime(),
             "scheduler": snap,
             "service": self.service.counters(),
             "slo": self.slo.summary(self.uptime()),
+            "tracing": {
+                "stored_traces": len(self.tracer.traces()),
+                "flight_ring": fl["ring_size"],
+                "flight_triggers": fl["triggers"],
+            },
         }
         ratio = self.slo.cache_hit_ratio()
         if ratio is not None:
@@ -347,43 +492,107 @@ def _make_handler(daemon: PlanningDaemon):
             self.end_headers()
             self.wfile.write(data)
 
+        def _access_log(
+            self, status: int, recv: float, trace_id: str | None = None,
+            **fields,
+        ) -> None:
+            if not daemon.access_log:
+                return
+            jsonlog(
+                "http_access",
+                method=self.command,
+                path=self.path,
+                status=status,
+                wall_ms=round((time.monotonic() - recv) * 1e3, 3),
+                trace_id=trace_id,
+                **fields,
+            )
+
         def do_GET(self) -> None:
-            if self.path == "/healthz":
+            recv = time.monotonic()
+            path, _, query = self.path.partition("?")
+            if path == "/healthz":
                 self._reply(200, {"ok": True, "version": __version__})
-            elif self.path == "/metrics":
+                status = 200
+            elif path == "/metrics":
                 text = daemon.metrics_registry().to_prometheus()
                 self._reply(
                     200, text, content_type="text/plain; version=0.0.4"
                 )
-            elif self.path == "/stats":
+                status = 200
+            elif path == "/stats":
                 self._reply(200, daemon.stats())
+                status = 200
+            elif path.startswith("/trace/"):
+                status = self._get_trace(path[len("/trace/"):])
+            elif path == "/debug/flight":
+                params = parse_qs(query)
+                if params.get("trigger", ["0"])[-1] not in ("", "0", "false"):
+                    daemon.tracer.flight.trigger("manual")
+                self._reply(200, daemon.tracer.flight.snapshot())
+                status = 200
             else:
                 self._reply(404, {"error": f"no such path {self.path}"})
+                status = 404
+            self._access_log(status, recv)
+
+        def _get_trace(self, raw: str) -> int:
+            try:
+                job_id = int(raw)
+            except ValueError:
+                self._reply(400, {"error": f"bad job id {raw!r}"})
+                return 400
+            trace = daemon.tracer.get(job_id)
+            if trace is None:
+                self._reply(
+                    404,
+                    {"error": f"no trace for job {job_id} "
+                              "(evicted or never finished)"},
+                )
+                return 404
+            self._reply(200, trace.to_json())
+            return 200
 
         def do_POST(self) -> None:
+            recv = time.monotonic()
             if self.path != "/plan":
                 self._reply(404, {"error": f"no such path {self.path}"})
+                self._access_log(404, recv)
                 return
             try:
                 length = int(self.headers.get("Content-Length", "0"))
             except ValueError:
                 length = -1
             if not 0 < length <= MAX_BODY:
+                status = 413 if length > MAX_BODY else 400
                 self._reply(
-                    413 if length > MAX_BODY else 400,
+                    status,
                     {"error": "body must be 1 byte to 64 KiB of JSON"},
                 )
+                self._access_log(status, recv)
                 return
             try:
                 payload = json.loads(self.rfile.read(length))
             except (json.JSONDecodeError, UnicodeDecodeError):
                 self._reply(400, {"error": "body is not valid JSON"})
+                self._access_log(400, recv)
                 return
             if not isinstance(payload, dict):
                 self._reply(400, {"error": "body must be a JSON object"})
+                self._access_log(400, recv)
                 return
             tenant = str(payload.pop("tenant", "")) or "interactive"
-            status, body, headers = daemon.submit(tenant, payload)
+            status, body, headers = daemon.submit(
+                tenant, payload,
+                traceparent=self.headers.get("traceparent"),
+                recv=recv,
+            )
             self._reply(status, body, headers)
+            self._access_log(
+                status, recv,
+                trace_id=body.get("trace_id"),
+                tenant=tenant,
+                job_id=body.get("job_id"),
+            )
 
     return Handler

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.bench.runner import BenchSetup, run_config
 from repro.hqr.config import HQRConfig
+from repro.obs.tracing import span
 from repro.tiles.layout import BlockCyclic2D
 
 __all__ = ["PlanRequest", "PlanResult", "PlannerService"]
@@ -209,7 +210,10 @@ class PlannerService:
         cfg, auto = self.resolve_config(req)
         setup = self.setup
         layout = BlockCyclic2D(cfg.p, cfg.q)
-        cache_hit = self._probe_cache(req, cfg, layout)
+        with span("cache") as sp:
+            cache_hit = self._probe_cache(req, cfg, layout)
+            if sp is not None:
+                sp.attrs["hit"] = cache_hit
         res = run_config(req.m, req.n, cfg, setup, layout=layout)
         degradation, replanned = 1.0, False
         if req.fault_scenario is not None:

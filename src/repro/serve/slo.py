@@ -41,14 +41,21 @@ def percentile(values: list[float], q: float) -> float:
 class SLOTracker:
     """Thread-safe accumulator of per-tenant serving outcomes."""
 
-    def __init__(self, max_samples: int = 200_000):
+    def __init__(
+        self, max_samples: int = 200_000, *, breach_s: float | None = None
+    ):
         self._lock = threading.Lock()
         self.max_samples = max_samples
+        #: latency above this (seconds) counts as an SLO breach; ``None``
+        #: disables breach accounting (the deterministic stream bench
+        #: does, so summaries stay comparable across thresholds)
+        self.breach_s = breach_s
         self._latency: dict[str, list[float]] = defaultdict(list)
         self._served: dict[str, int] = defaultdict(int)
         self._shed: dict[str, int] = defaultdict(int)
         self._errors: dict[str, int] = defaultdict(int)
         self._degraded: dict[str, int] = defaultdict(int)
+        self._breaches: dict[str, int] = defaultdict(int)
         self._cache_hits = 0
         self._cache_lookups = 0
         self.dropped_samples = 0
@@ -72,6 +79,8 @@ class SLOTracker:
         with self._lock:
             if outcome == "served":
                 self._served[tenant] += 1
+                if self.breach_s is not None and latency > self.breach_s:
+                    self._breaches[tenant] += 1
                 lat = self._latency[tenant]
                 if len(lat) < self.max_samples:
                     lat.append(latency)
@@ -195,12 +204,20 @@ class SLOTracker:
                         percentile(lat, q), tenant=name, quantile=f"p{q}"
                     )
             degraded = sum(self._degraded.values())
+            breaches = dict(self._breaches)
             hits, lookups = self._cache_hits, self._cache_lookups
         if degraded:
             reg.counter(
                 "repro_serve_degraded_total",
                 "requests answered through the fault-recovery path",
             ).inc(degraded)
+        if breaches:
+            breach_total = reg.counter(
+                "repro_serve_slo_breaches_total",
+                "served requests over the latency SLO threshold",
+            )
+            for name, n in sorted(breaches.items()):
+                breach_total.inc(n, tenant=name)
         if lookups:
             reg.gauge(
                 "repro_serve_cache_hit_ratio",

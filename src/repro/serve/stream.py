@@ -26,6 +26,7 @@ import heapq
 import math
 from dataclasses import dataclass, replace
 
+from repro.obs.tracing import Span, Tracer, stream_trace_id
 from repro.serve.arrivals import Arrival
 from repro.serve.scheduler import FairScheduler, Job, TenantSpec
 from repro.serve.service import PlannerService, PlanRequest
@@ -89,6 +90,7 @@ def run_stream(
     chaos: ChaosWindow | None = None,
     min_service: float = 1e-3,
     default_cost: float = 1.0,
+    tracer: Tracer | None = None,
 ) -> StreamOutcome:
     """Run an arrival trace through the scheduler in virtual time.
 
@@ -98,6 +100,11 @@ def run_stream(
     completed after a virtual service time of the plan's makespan.
     Returns the full per-job trace; the run never blocks — an overloaded
     stream sheds and still terminates with every job accounted for.
+
+    ``tracer`` (optional) collects a per-request span tree in *virtual*
+    time — trace ids derived from the job id, no wall clocks — so
+    seeded runs stay bit-reproducible with tracing on; degraded and
+    shed jobs trigger its flight recorder.
     """
     sched = FairScheduler(
         tenants, capacity=capacity, max_inflight_cost=max_inflight_cost
@@ -138,6 +145,30 @@ def run_stream(
             cache_hit=result.cache_hit,
             degraded=result.degradation > 1.0,
         )
+        if tracer is not None:
+            tr = tracer.start(
+                job.tenant, job.arrival,
+                trace_id=stream_trace_id(job.job_id),
+                span_id=f"{job.job_id:016x}",
+                job_id=job.job_id,
+            )
+            tr.span("admission", job.arrival, job.arrival, admitted=True)
+            tr.span("queue", job.arrival, job.start)
+            svc = tr.span(
+                "service", job.start, finish,
+                cache_hit=result.cache_hit,
+                degradation=result.degradation,
+            )
+            svc.children.append(
+                Span("simulate", job.start, finish, {"engine": "virtual"})
+            )
+            tracer.finish(tr, finish)
+            if result.degradation > 1.0:
+                tracer.flight.trigger(
+                    "fault", now=finish,
+                    detail=f"job {job.job_id} degradation "
+                           f"{result.degradation:.3f}",
+                )
         trace.append(
             {
                 "job": job.job_id,
@@ -177,6 +208,22 @@ def run_stream(
         adm = sched.offer(job, ev.time)
         if not adm.admitted:
             slo.record(ev.tenant, latency=0.0, outcome="shed")
+            if tracer is not None:
+                tr = tracer.start(
+                    ev.tenant, ev.time,
+                    trace_id=stream_trace_id(job.job_id),
+                    span_id=f"{job.job_id:016x}",
+                    job_id=job.job_id,
+                )
+                tr.span(
+                    "admission", ev.time, ev.time,
+                    admitted=False, reason=adm.reason,
+                )
+                tracer.finish(tr, ev.time, status="shed")
+                tracer.flight.trigger(
+                    "shed", now=ev.time,
+                    detail=f"{ev.tenant}: {adm.reason}",
+                )
             trace.append(
                 {
                     "job": job.job_id,

@@ -1,0 +1,200 @@
+"""End-to-end request tracing over HTTP: context propagation, span
+trees via /trace/<job_id>, latency attribution, the flight recorder
+debug endpoint, and a strict /metrics scrape."""
+
+import threading
+
+import pytest
+
+from _serve_testlib import TENANTS, TINY_REQUEST, tiny_setup
+from repro.obs.metrics import parse_prometheus_text
+from repro.obs.tracing import ATTRIBUTION_STAGES, format_traceparent
+from repro.serve.client import ServeClient
+from repro.serve.server import PlanningDaemon
+from repro.serve.service import PlannerService
+
+
+@pytest.fixture
+def daemon():
+    d = PlanningDaemon(
+        PlannerService(tiny_setup()), TENANTS, port=0, workers=2
+    )
+    d.start()
+    yield d
+    d.shutdown()
+
+
+@pytest.fixture
+def client(daemon):
+    c = ServeClient(port=daemon.port, timeout=30.0)
+    c.wait_ready()
+    return c
+
+
+class TestPlanTracing:
+    def test_response_carries_trace_context(self, client):
+        resp = client.plan("gold", TINY_REQUEST)
+        assert resp.ok
+        assert resp.job_id is not None
+        assert len(resp.trace_id) == 32
+
+    def test_breakdown_sums_to_e2e_latency(self, client):
+        resp = client.plan("gold", TINY_REQUEST)
+        bd = resp.breakdown
+        assert set(ATTRIBUTION_STAGES) <= set(bd)
+        staged = sum(bd[s] for s in ATTRIBUTION_STAGES)
+        assert bd["total"] > 0
+        assert staged == pytest.approx(bd["total"], rel=0.05)
+
+    def test_traceparent_header_joins_the_trace(self, client):
+        tid, sid = "ab" * 16, "cd" * 8
+        status, headers, data = client._request(
+            "POST", "/plan",
+            {**TINY_REQUEST, "tenant": "gold"},
+            headers={"traceparent": format_traceparent(tid, sid)},
+        )
+        import json
+
+        assert status == 200
+        body = json.loads(data)
+        assert body["trace_id"] == tid
+        # the response announces the server-side span in the same trace
+        echoed = {k.lower(): v for k, v in headers.items()}["traceparent"]
+        assert echoed.startswith(f"00-{tid}-")
+
+    def test_malformed_traceparent_mints_fresh_context(self, client):
+        status, _, data = client._request(
+            "POST", "/plan",
+            {**TINY_REQUEST, "tenant": "gold"},
+            headers={"traceparent": "garbage-header"},
+        )
+        import json
+
+        assert status == 200
+        assert len(json.loads(data)["trace_id"]) == 32
+
+
+class TestTraceEndpoint:
+    def test_span_tree_retrievable_by_job_id(self, client):
+        resp = client.plan("gold", TINY_REQUEST)
+        tree = client.trace(resp.job_id)
+        assert tree["trace_id"] == resp.trace_id
+        assert tree["tenant"] == "gold"
+        assert tree["status"] == "served"
+        assert tree["root"]["name"] == "request"
+        names = [c["name"] for c in tree["root"]["children"]]
+        assert names[:2] == ["admission", "queue"]
+        assert "service" in names
+        service = next(
+            c for c in tree["root"]["children"] if c["name"] == "service"
+        )
+        kids = [c["name"] for c in service.get("children", ())]
+        assert "cache" in kids
+        assert "simulate" in kids
+
+    def test_unknown_job_404(self, client):
+        status, _, _ = client._request("GET", "/trace/999999")
+        assert status == 404
+
+    def test_bad_job_id_400(self, client):
+        status, _, _ = client._request("GET", "/trace/nope")
+        assert status == 400
+
+    def test_shed_requests_are_traced(self):
+        from repro.serve.scheduler import TenantSpec
+
+        d = PlanningDaemon(
+            PlannerService(tiny_setup()),
+            (TenantSpec("t", queue_limit=1),),
+            port=0,
+            workers=1,
+            flight_cooldown=0.0,
+        )
+        d.start()
+        try:
+            c = ServeClient(port=d.port, timeout=30.0)
+            c.wait_ready()
+            results = []
+            lock = threading.Lock()
+
+            def fire():
+                r = c.plan("t", TINY_REQUEST)
+                with lock:
+                    results.append(r)
+
+            threads = [threading.Thread(target=fire) for _ in range(12)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            sheds = [r for r in results if r.status == 429]
+            assert sheds, "burst never saturated the 1-deep queue"
+            assert all(r.trace_id and r.job_id is not None for r in sheds)
+            shed_trace = c.trace(sheds[0].job_id)
+            assert shed_trace["status"] == "shed"
+            # shedding auto-triggered the flight recorder
+            flight = c.flight()
+            assert flight["triggers"].get("shed", 0) >= len(sheds)
+            assert flight["dumps"]
+        finally:
+            d.shutdown()
+
+
+class TestFlightEndpoint:
+    def test_snapshot_shape(self, client):
+        client.plan("gold", TINY_REQUEST)
+        snap = client.flight()
+        assert snap["capacity"] >= 1
+        assert snap["ring_size"] >= 1
+
+    def test_manual_trigger_dumps_the_ring(self, client):
+        resp = client.plan("gold", TINY_REQUEST)
+        snap = client.flight(trigger=True)
+        assert snap["triggers"].get("manual") == 1
+        dump = snap["dumps"][-1]
+        assert dump["reason"] == "manual"
+        assert resp.job_id in [t["job_id"] for t in dump["traces"]]
+
+
+class TestMetricsAndStats:
+    def test_live_scrape_parses_strictly(self, client):
+        """Satellite: the real daemon's /metrics must survive a strict
+        exposition-format parser, histograms and escaping included."""
+        client.plan("gold", TINY_REQUEST)
+        client.flight(trigger=True)
+        fams = parse_prometheus_text(client.metrics())
+        assert fams["repro_serve_requests_total"]["type"] == "counter"
+        assert fams["repro_serve_latency_seconds"]["type"] == "histogram"
+        assert "repro_serve_traces_stored" in fams
+        trig = {
+            labels["reason"]: value
+            for _, labels, value in (
+                fams["repro_serve_flight_triggers_total"]["samples"]
+            )
+        }
+        assert trig.get("manual") == 1.0
+
+    def test_stats_expose_tracing_state(self, client):
+        client.plan("gold", TINY_REQUEST)
+        stats = client.stats()
+        assert stats["tracing"]["stored_traces"] >= 1
+        assert stats["tracing"]["flight_ring"] >= 1
+
+
+class TestHookLifecycle:
+    def test_core_hook_uninstalled_after_shutdown(self, daemon, client):
+        from repro.obs.tracing import active_core_hook
+
+        assert active_core_hook() is not None
+        daemon.shutdown()
+        assert active_core_hook() is None
+
+    def test_shutdown_without_start_leaves_other_daemons_hook(self, daemon):
+        other = PlanningDaemon(
+            PlannerService(tiny_setup()), TENANTS, port=0, workers=1
+        )
+        # never started: its shutdown must not decrement the refcount
+        other.shutdown()
+        from repro.obs.tracing import active_core_hook
+
+        assert active_core_hook() is not None
